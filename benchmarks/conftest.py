@@ -1,0 +1,67 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Every benchmark file regenerates one table or figure of the paper.  By
+default a reduced-but-representative slice of each experiment runs (small
+molecules, one QAOA size per family) so the whole harness finishes in a few
+minutes on a laptop; set ``REPRO_FULL_SUITE=1`` to run the paper's complete
+benchmark lists.
+
+The printed rows (and the ``benchmarks/results/*.txt`` files written as a
+side effect) are the reproduction counterpart of the paper's tables; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SUITE = os.environ.get("REPRO_FULL_SUITE", "0") not in ("0", "", "false")
+
+#: UCCSD benchmarks used by default (small enough for quick runs) and in the
+#: full-suite mode (the paper's sixteen Table I instances).
+SMALL_UCCSD = ["LiH_frz_BK", "LiH_frz_JW", "NH_frz_BK", "NH_frz_JW"]
+FULL_UCCSD = [
+    f"{molecule}_{encoding}"
+    for molecule in (
+        "CH2_cmplt", "CH2_frz", "H2O_cmplt", "H2O_frz",
+        "LiH_cmplt", "LiH_frz", "NH_cmplt", "NH_frz",
+    )
+    for encoding in ("BK", "JW")
+]
+
+SMALL_QAOA = ["Rand-16", "Reg3-16"]
+FULL_QAOA = ["Rand-16", "Rand-20", "Rand-24", "Reg3-16", "Reg3-20", "Reg3-24"]
+
+
+def uccsd_selection() -> list[str]:
+    return FULL_UCCSD if FULL_SUITE else SMALL_UCCSD
+
+
+def qaoa_selection() -> list[str]:
+    return FULL_QAOA if FULL_SUITE else SMALL_QAOA
+
+
+def write_report(name: str, content: str) -> None:
+    """Persist a printed table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
+
+
+@pytest.fixture(scope="session")
+def uccsd_programs():
+    """Benchmark-name -> Pauli program, for the selected UCCSD slice."""
+    from repro.chemistry import benchmark_program
+
+    return {name: benchmark_program(name) for name in uccsd_selection()}
+
+
+@pytest.fixture(scope="session")
+def heavy_hex_topology():
+    from repro.hardware.topology import Topology
+
+    return Topology.ibm_manhattan()

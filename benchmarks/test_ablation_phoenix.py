@@ -1,0 +1,62 @@
+"""E7 — Ablation study of PHOENIX's design choices.
+
+The paper's Section IV motivates (a) the Eq. (6) cost function guiding the
+BSF simplification and (b) the Tetris-like group ordering with look-ahead.
+This ablation regenerates the evidence by running the pipeline with the
+cost function replaced by a plain total-weight objective and with the
+ordering look-ahead disabled, and comparing 2Q counts/depths with the full
+configuration.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.compiler import PhoenixCompiler
+from repro.core.emission import groups_to_circuit
+from repro.core.grouping import group_terms
+from repro.core.ordering import order_groups
+from repro.core.simplify import simplify_group
+from repro.experiments import format_table
+from repro.metrics.circuit_metrics import circuit_metrics
+from repro.synthesis.rebase import rebase_to_cx
+from repro.transforms.optimize import optimize_circuit
+
+
+def _weight_only_cost(bsf):
+    """Ablated cost: just the total weight (no pairwise-overlap terms)."""
+    return float(bsf.total_weight())
+
+
+def _compile_with_cost(terms, cost_function):
+    """Run the PHOENIX pipeline with a custom BSF simplification cost."""
+    num_qubits = terms[0].num_qubits
+    groups = group_terms(terms)
+    simplified = [simplify_group(g, cost_function=cost_function) for g in groups]
+    ordered = order_groups(simplified, num_qubits, lookahead=10)
+    circuit = optimize_circuit(rebase_to_cx(groups_to_circuit(ordered, num_qubits)), level=2)
+    return circuit_metrics(circuit)
+
+
+def test_ablation_cost_function_and_lookahead(benchmark, uccsd_programs):
+    name, terms = next(iter(uccsd_programs.items()))
+
+    def run_ablation():
+        results = {}
+        results["full"] = PhoenixCompiler(lookahead=10).compile(terms).metrics
+        results["lookahead=1"] = PhoenixCompiler(lookahead=1).compile(terms).metrics
+        from repro.core.cost import bsf_cost
+
+        results["eq6 cost (direct pipeline)"] = _compile_with_cost(terms, bsf_cost)
+        results["weight-only cost"] = _compile_with_cost(terms, _weight_only_cost)
+        return results
+
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = [[label, m.cx_count, m.depth_2q] for label, m in results.items()]
+    table = format_table(rows, headers=[f"PHOENIX variant ({name})", "#CNOT", "Depth-2Q"])
+    print("\nAblation — PHOENIX design choices\n" + table)
+    write_report("ablation_phoenix", table)
+
+    # The full configuration should not lose to either ablation by more
+    # than a small margin (ties are possible on small benchmarks).
+    full = results["full"].cx_count
+    assert full <= results["weight-only cost"].cx_count * 1.05
+    assert full <= results["lookahead=1"].cx_count * 1.10

@@ -1,0 +1,43 @@
+"""E1 — Table I: the UCCSD benchmark-suite statistics.
+
+Regenerates, for each benchmark, the columns of Table I: #Qubit, #Pauli,
+wmax, and the naive ("original circuit") #Gate / #CNOT / Depth / Depth-2Q
+obtained from conventional per-term CNOT-tree synthesis.
+"""
+
+from benchmarks.conftest import write_report
+from repro.baselines import NaiveCompiler
+from repro.experiments import format_table
+
+
+def test_table1_uccsd_suite(benchmark, uccsd_programs):
+    compiler = NaiveCompiler()
+
+    def synthesize_all():
+        return {name: compiler.compile(terms) for name, terms in uccsd_programs.items()}
+
+    results = benchmark.pedantic(synthesize_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, terms in uccsd_programs.items():
+        metrics = results[name].metrics
+        rows.append([
+            name,
+            terms[0].num_qubits,
+            len(terms),
+            max(t.weight() for t in terms),
+            metrics.total_gates,
+            metrics.cx_count,
+            metrics.depth,
+            metrics.depth_2q,
+        ])
+        # Sanity: the original circuit's CNOT count is 2*(w-1) per term.
+        expected_cx = sum(2 * (t.weight() - 1) for t in terms if t.weight() > 1)
+        assert metrics.cx_count == expected_cx
+
+    table = format_table(
+        rows,
+        headers=["Benchmark", "#Qubit", "#Pauli", "wmax", "#Gate", "#CNOT", "Depth", "Depth-2Q"],
+    )
+    print("\nTable I — UCCSD benchmark suite (naive synthesis)\n" + table)
+    write_report("table1_uccsd_suite", table)

@@ -1,0 +1,49 @@
+"""Hardware-aware QAOA compilation on the heavy-hex device (Fig. 7 workload).
+
+Compiles a QAOA MaxCut layer for a 3-regular graph onto the 64-qubit
+heavy-hex (Manhattan-style) topology with PHOENIX and with the 2QAN-like
+baseline, reporting #CNOT, 2Q depth, SWAP count and the routing-overhead
+multiple — the metrics of the paper's Table IV.
+
+Run with:  python examples/qaoa_heavy_hex.py [benchmark-name]
+(default Reg3-16; options: Rand-16/20/24, Reg3-16/20/24).
+"""
+
+import sys
+
+from repro.baselines import TwoQANCompiler
+from repro.core.compiler import PhoenixCompiler
+from repro.experiments import format_table
+from repro.hardware.topology import Topology
+from repro.qaoa import QAOA_BENCHMARKS, qaoa_benchmark_program
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Reg3-16"
+    if name not in QAOA_BENCHMARKS:
+        raise SystemExit(f"unknown QAOA benchmark {name!r}; choose from {sorted(QAOA_BENCHMARKS)}")
+
+    terms = qaoa_benchmark_program(name)
+    topology = Topology.ibm_manhattan()
+    print(f"{name}: {terms[0].num_qubits} qubits, {len(terms)} ZZ interactions, "
+          f"routed onto {topology.name}")
+
+    rows = []
+    for label, compiler in (
+        ("2QAN", TwoQANCompiler(topology=topology)),
+        ("PHOENIX", PhoenixCompiler(topology=topology)),
+    ):
+        result = compiler.compile(terms)
+        rows.append([
+            label,
+            result.metrics.cx_count,
+            result.metrics.depth_2q,
+            result.metrics.swap_count,
+            f"{result.routing_overhead:.2f}x" if result.routing_overhead else "-",
+        ])
+    print()
+    print(format_table(rows, headers=["compiler", "#CNOT", "Depth-2Q", "#SWAP", "overhead"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed with the legacy (non-PEP 517) editable path in
+offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""PHOENIX reproduction: Pauli-based high-level optimization for NISQ devices.
+
+This package re-implements, from scratch, the compiler described in
+"PHOENIX: Pauli-Based High-Level Optimization Engine for Instruction
+Execution on NISQ Devices" (DAC 2025), together with every substrate it
+depends on: Pauli algebra, binary symplectic forms, Clifford formalism,
+a circuit IR with synthesis and optimisation passes, hardware topologies
+and routing, workload generators (UCCSD chemistry and QAOA), simulation
+for algorithmic-error analysis, and the baseline compilers used in the
+paper's evaluation.
+
+The primary entry point is :class:`repro.core.PhoenixCompiler`.
+"""
+
+from repro.paulis import PauliString, PauliTerm, Hamiltonian
+from repro.paulis.bsf import BSF
+from repro.circuits import QuantumCircuit, Gate
+from repro.core import PhoenixCompiler, CompilationResult
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PauliString",
+    "PauliTerm",
+    "Hamiltonian",
+    "BSF",
+    "QuantumCircuit",
+    "Gate",
+    "PhoenixCompiler",
+    "CompilationResult",
+    "__version__",
+]

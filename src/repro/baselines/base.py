@@ -1,0 +1,89 @@
+"""Shared machinery for the baseline compilers.
+
+``finalize_compilation`` applies exactly the same post-processing as the
+PHOENIX compiler facade: peephole optimisation at the requested level,
+SU(4) consolidation when targeting the SU(4) ISA, and SABRE mapping/routing
+for hardware-aware compilation.  This keeps the cross-compiler comparison
+about the synthesis and ordering strategy, mirroring how the paper attaches
+the same Qiskit passes to every baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.compiler import CompilationResult
+from repro.hardware.routing.sabre import route_circuit
+from repro.hardware.topology import Topology
+from repro.metrics.circuit_metrics import circuit_metrics
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliTerm
+from repro.synthesis.consolidate import consolidate_su4
+from repro.synthesis.rebase import rebase_to_cx
+from repro.transforms.optimize import optimize_circuit
+
+#: Baselines reuse the same result dataclass as PHOENIX.
+BaselineResult = CompilationResult
+
+
+def as_terms(program) -> List[PauliTerm]:
+    """Normalise a program (Hamiltonian or term list) into a term list."""
+    if isinstance(program, Hamiltonian):
+        return program.to_terms()
+    terms = list(program)
+    if not terms:
+        raise ValueError("cannot compile an empty program")
+    return terms
+
+
+def finalize_compilation(
+    logical_native: QuantumCircuit,
+    implemented_terms: Sequence[PauliTerm],
+    isa: str = "cnot",
+    topology: Optional[Topology] = None,
+    optimization_level: int = 2,
+    seed: int = 0,
+) -> CompilationResult:
+    """Post-process a logically synthesised circuit into a final result."""
+    if isa not in ("cnot", "su4"):
+        raise ValueError(f"unsupported ISA {isa!r}")
+    logical_cx = rebase_to_cx(logical_native)
+    logical_cx = optimize_circuit(logical_cx, level=optimization_level)
+    if isa == "su4":
+        logical = consolidate_su4(logical_cx)
+    else:
+        logical = logical_cx
+    logical_metrics = circuit_metrics(logical)
+
+    hardware_aware = topology is not None and not topology.is_all_to_all()
+    routed = None
+    routing_overhead = None
+    final_circuit = logical
+    final_metrics = logical_metrics
+    if hardware_aware:
+        routed = route_circuit(logical_cx, topology, seed=seed, decompose_swaps=False)
+        hardware_circuit = rebase_to_cx(routed.circuit)
+        hardware_circuit = optimize_circuit(hardware_circuit, level=optimization_level)
+        if isa == "su4":
+            hardware_circuit = consolidate_su4(hardware_circuit)
+        final_circuit = hardware_circuit
+        final_metrics = replace(
+            circuit_metrics(hardware_circuit), swap_count=routed.swap_count
+        )
+        logical_cx_count = max(1, circuit_metrics(logical_cx).cx_count)
+        routing_overhead = (
+            final_metrics.cx_count / logical_cx_count if isa == "cnot" else None
+        )
+
+    return CompilationResult(
+        circuit=final_circuit,
+        logical_circuit=logical,
+        metrics=final_metrics,
+        logical_metrics=logical_metrics,
+        implemented_terms=list(implemented_terms),
+        groups=[],
+        routed=routed,
+        routing_overhead=routing_overhead,
+    )

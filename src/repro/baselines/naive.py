@@ -1,0 +1,47 @@
+"""Naive per-term synthesis (the paper's "original circuit").
+
+Every Pauli exponentiation is synthesised independently with the
+conventional CNOT chain of Fig. 1(a), in program order, with no
+optimisation beyond the optionally attached peephole passes.  Table I's
+``#Gate / #CNOT / Depth / Depth-2Q`` columns describe exactly this
+circuit, and every optimisation rate in the paper is normalised against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import as_terms, finalize_compilation
+from repro.core.compiler import CompilationResult
+from repro.hardware.topology import Topology
+from repro.synthesis.pauli_exp import synthesize_terms
+
+
+class NaiveCompiler:
+    """Reference compiler: unoptimised per-term synthesis."""
+
+    name = "naive"
+
+    def __init__(
+        self,
+        isa: str = "cnot",
+        topology: Optional[Topology] = None,
+        optimization_level: int = 0,
+        seed: int = 0,
+    ):
+        self.isa = isa
+        self.topology = topology
+        self.optimization_level = optimization_level
+        self.seed = seed
+
+    def compile(self, program) -> CompilationResult:
+        terms = as_terms(program)
+        circuit = synthesize_terms(terms, tree="chain")
+        return finalize_compilation(
+            circuit,
+            terms,
+            isa=self.isa,
+            topology=self.topology,
+            optimization_level=self.optimization_level,
+            seed=self.seed,
+        )

@@ -1,0 +1,28 @@
+"""Chemistry workload generation: UCCSD ansatzes for the Table I suite.
+
+The paper's UCCSD benchmarks (CH2, H2O, LiH, NH with STO-3G orbitals,
+complete and frozen-core, under Jordan-Wigner and Bravyi-Kitaev encodings)
+are regenerated from first principles: fermionic excitation operators are
+built from the molecule's electron/orbital counts and mapped to Pauli
+strings with either encoding.  Amplitudes are deterministic pseudo-random
+values (see DESIGN.md: amplitudes only set rotation angles and do not
+affect gate counts).
+"""
+
+from repro.chemistry.fermion import FermionOperator
+from repro.chemistry.jordan_wigner import jordan_wigner
+from repro.chemistry.bravyi_kitaev import bravyi_kitaev
+from repro.chemistry.uccsd import uccsd_ansatz, uccsd_excitations
+from repro.chemistry.molecules import MoleculeSpec, MOLECULES, benchmark_program, benchmark_names
+
+__all__ = [
+    "FermionOperator",
+    "jordan_wigner",
+    "bravyi_kitaev",
+    "uccsd_ansatz",
+    "uccsd_excitations",
+    "MoleculeSpec",
+    "MOLECULES",
+    "benchmark_program",
+    "benchmark_names",
+]

@@ -1,0 +1,39 @@
+"""The Jordan-Wigner fermion-to-qubit encoding.
+
+``a†_j -> 1/2 (X_j - iY_j) ⊗ Z_{j-1} ⊗ ... ⊗ Z_0`` and
+``a_j  -> 1/2 (X_j + iY_j) ⊗ Z_{j-1} ⊗ ... ⊗ Z_0``:
+the occupation lives on qubit ``j`` and the parity is accumulated by the
+Z-string on all lower modes, which is what gives JW-encoded UCCSD terms
+their long Pauli weights (``wmax`` up to the full register in Table I).
+"""
+
+from __future__ import annotations
+
+from repro.chemistry.fermion import FermionOperator
+from repro.paulis.pauli import PauliString
+from repro.paulis.qubit_operator import QubitOperator
+
+
+def _ladder_operator(mode: int, creation: bool, num_qubits: int) -> QubitOperator:
+    """JW image of a single creation/annihilation operator."""
+    if mode >= num_qubits:
+        raise ValueError(f"mode {mode} out of range for {num_qubits} qubits")
+    z_string = {q: "Z" for q in range(mode)}
+    x_part = PauliString.from_sparse(num_qubits, {**z_string, mode: "X"})
+    y_part = PauliString.from_sparse(num_qubits, {**z_string, mode: "Y"})
+    sign = -1j if creation else 1j
+    op = QubitOperator(num_qubits)
+    op.add(0.5, x_part)
+    op.add(0.5 * sign, y_part)
+    return op
+
+
+def jordan_wigner(operator: FermionOperator, num_qubits: int) -> QubitOperator:
+    """Map a fermionic operator to a qubit operator under Jordan-Wigner."""
+    result = QubitOperator(num_qubits)
+    for term, coefficient in operator.terms.items():
+        product = QubitOperator.identity(num_qubits, coefficient)
+        for mode, creation in term:
+            product = product * _ladder_operator(mode, creation, num_qubits)
+        result = result + product
+    return result.cleaned()

@@ -1,0 +1,72 @@
+"""The molecule catalogue behind the paper's UCCSD benchmark suite (Table I).
+
+All molecules use STO-3G minimal bases.  The "complete" variants keep every
+spatial orbital; the "frozen" (frozen-core) variants drop the deepest core
+orbital(s) and their electrons.  The resulting (spin-orbital, electron)
+counts reproduce the paper's qubit counts and, combined with the
+spin-conserving UCCSD pool of :mod:`repro.chemistry.uccsd`, its ``#Pauli``
+column exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.chemistry.uccsd import uccsd_ansatz
+from repro.paulis.pauli import PauliTerm
+
+
+@dataclass(frozen=True)
+class MoleculeSpec:
+    """Electron / spin-orbital counts of one benchmark molecule variant."""
+
+    name: str
+    num_spin_orbitals: int
+    num_electrons: int
+    description: str = ""
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_spin_orbitals
+
+
+#: STO-3G orbital counts: H (1 spatial), Li/C/N/O (5 spatial each).
+MOLECULES: Dict[str, MoleculeSpec] = {
+    # CH2: C(5) + 2 H(1) = 7 spatial orbitals, 8 electrons.
+    "CH2_cmplt": MoleculeSpec("CH2_cmplt", 14, 8, "methylene, complete space"),
+    "CH2_frz": MoleculeSpec("CH2_frz", 12, 6, "methylene, frozen C 1s core"),
+    # H2O: O(5) + 2 H(1) = 7 spatial orbitals, 10 electrons.
+    "H2O_cmplt": MoleculeSpec("H2O_cmplt", 14, 10, "water, complete space"),
+    "H2O_frz": MoleculeSpec("H2O_frz", 12, 8, "water, frozen O 1s core"),
+    # LiH: Li(5) + H(1) = 6 spatial orbitals, 4 electrons.
+    "LiH_cmplt": MoleculeSpec("LiH_cmplt", 12, 4, "lithium hydride, complete space"),
+    "LiH_frz": MoleculeSpec("LiH_frz", 10, 2, "lithium hydride, frozen Li 1s core"),
+    # NH: N(5) + H(1) = 6 spatial orbitals, 8 electrons.
+    "NH_cmplt": MoleculeSpec("NH_cmplt", 12, 8, "imidogen, complete space"),
+    "NH_frz": MoleculeSpec("NH_frz", 10, 6, "imidogen, frozen N 1s core"),
+}
+
+ENCODINGS: Tuple[str, str] = ("BK", "JW")
+
+
+def benchmark_names() -> List[str]:
+    """The sixteen UCCSD benchmark names of Table I, e.g. ``CH2_cmplt_BK``."""
+    return [f"{molecule}_{encoding}" for molecule in MOLECULES for encoding in ENCODINGS]
+
+
+def benchmark_program(name: str, seed: int = 7) -> List[PauliTerm]:
+    """Build the Pauli-exponentiation program of one Table I benchmark.
+
+    ``name`` is ``"<molecule>_<variant>_<encoding>"``, e.g. ``"LiH_frz_JW"``.
+    """
+    parts = name.rsplit("_", 1)
+    if len(parts) != 2 or parts[1].upper() not in ENCODINGS or parts[0] not in MOLECULES:
+        raise ValueError(
+            f"unknown benchmark {name!r}; expected one of {benchmark_names()}"
+        )
+    spec = MOLECULES[parts[0]]
+    encoding = "jw" if parts[1].upper() == "JW" else "bk"
+    return uccsd_ansatz(
+        spec.num_electrons, spec.num_spin_orbitals, encoding=encoding, seed=seed
+    )

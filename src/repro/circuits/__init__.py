@@ -1,0 +1,22 @@
+"""Quantum circuit intermediate representation.
+
+Provides a light-weight gate-list circuit IR with:
+
+* a gate library carrying exact unitaries (:mod:`repro.circuits.gates`),
+* :class:`QuantumCircuit` with builder methods, composition and inversion,
+* layering / depth computation (:mod:`repro.circuits.dag`), and
+* OpenQASM 2 export (:mod:`repro.circuits.qasm`).
+"""
+
+from repro.circuits.gates import Gate, gate_matrix, GATE_NAMES_2Q
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import circuit_layers, circuit_depth
+
+__all__ = [
+    "Gate",
+    "gate_matrix",
+    "GATE_NAMES_2Q",
+    "QuantumCircuit",
+    "circuit_layers",
+    "circuit_depth",
+]

@@ -1,0 +1,80 @@
+"""Circuit layering and depth computation.
+
+Depth is computed as-soon-as-possible (ASAP) scheduling over qubit
+dependencies.  Two modes are provided:
+
+* full depth, where every gate occupies a layer slot on its qubits, and
+* two-qubit depth (the paper's ``Depth-2Q``), where single-qubit gates are
+  ignored entirely — they neither occupy a layer nor create dependencies
+  between 2Q gates on the same qubit, matching how the paper treats 1Q
+  gates as free resources.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.gates import Gate
+
+
+def circuit_layers(circuit, two_qubit_only: bool = False) -> List[List[Gate]]:
+    """Partition a circuit's gates into ASAP layers.
+
+    With ``two_qubit_only`` single-qubit gates are skipped before
+    layering, so the result contains only 2Q gates.
+    """
+    finish_time = [0] * circuit.num_qubits
+    layers: List[List[Gate]] = []
+    for gate in circuit:
+        if two_qubit_only and not gate.is_two_qubit():
+            continue
+        start = max(finish_time[q] for q in gate.qubits)
+        if start == len(layers):
+            layers.append([])
+        layers[start].append(gate)
+        for q in gate.qubits:
+            finish_time[q] = start + 1
+    return layers
+
+
+def circuit_depth(circuit, two_qubit_only: bool = False) -> int:
+    """ASAP depth of the circuit (see :func:`circuit_layers`)."""
+    finish_time = [0] * circuit.num_qubits
+    depth = 0
+    for gate in circuit:
+        if two_qubit_only and not gate.is_two_qubit():
+            continue
+        start = max(finish_time[q] for q in gate.qubits)
+        for q in gate.qubits:
+            finish_time[q] = start + 1
+        depth = max(depth, start + 1)
+    return depth
+
+
+def endian_vectors(circuit, qubits=None):
+    """Left- and right-endian vectors of a subcircuit (paper Fig. 3a).
+
+    For each qubit ``i``, ``e_l[i]`` is the number of 2Q layers one must
+    traverse from the left before qubit ``i`` is first acted upon, and
+    ``e_r[i]`` the analogous count from the right.  Qubits never touched
+    by a 2Q gate get the full 2Q depth in both vectors.
+
+    Returns ``(e_l, e_r)`` as lists indexed by position in ``qubits``
+    (defaults to all circuit qubits).
+    """
+    if qubits is None:
+        qubits = list(range(circuit.num_qubits))
+    layers = circuit_layers(circuit, two_qubit_only=True)
+    depth2q = len(layers)
+    first_touch = {q: depth2q for q in qubits}
+    last_touch = {q: -1 for q in qubits}
+    for layer_index, layer in enumerate(layers):
+        for gate in layer:
+            for q in gate.qubits:
+                if q in first_touch and first_touch[q] == depth2q:
+                    first_touch[q] = layer_index
+                if q in last_touch:
+                    last_touch[q] = layer_index
+    e_l = [first_touch[q] for q in qubits]
+    e_r = [depth2q - 1 - last_touch[q] if last_touch[q] >= 0 else depth2q for q in qubits]
+    return e_l, e_r

@@ -1,0 +1,61 @@
+"""OpenQASM 2 export for the circuit IR.
+
+Only the gates representable in vanilla OpenQASM 2 plus ``qelib1.inc`` are
+emitted directly; the PHOENIX-specific gates (universal controlled Paulis,
+two-qubit Pauli rotations, opaque SU(4)) are lowered to CNOT + 1Q gates by
+:func:`repro.synthesis.rebase.rebase_to_cx` before export.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import decode_pauli_pair
+
+_DIRECT = {
+    "i": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "sx": "sx",
+    "cx": "cx",
+    "cz": "cz",
+    "cy": "cy",
+    "swap": "swap",
+}
+
+_PARAM_1Q = {"rx", "ry", "rz"}
+_PARAM_2Q = {"rxx", "ryy", "rzz", "rzx"}
+
+
+def circuit_to_qasm(circuit) -> str:
+    """Serialise a circuit to an OpenQASM 2 program string."""
+    needs_rebase = any(
+        gate.name in ("cxx", "cyy", "czz", "cxy", "cyz", "czx", "rpp", "su4")
+        for gate in circuit
+    )
+    if needs_rebase:
+        from repro.synthesis.rebase import rebase_to_cx
+
+        circuit = rebase_to_cx(circuit)
+
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        qubits = ", ".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name in _DIRECT:
+            lines.append(f"{_DIRECT[gate.name]} {qubits};")
+        elif gate.name in _PARAM_1Q or gate.name in _PARAM_2Q:
+            lines.append(f"{gate.name}({gate.params[0]:.12g}) {qubits};")
+        elif gate.name == "u3":
+            theta, phi, lam = gate.params
+            lines.append(f"u3({theta:.12g}, {phi:.12g}, {lam:.12g}) {qubits};")
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"gate {gate.name!r} not supported in QASM export")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,70 @@
+"""Conjugation of single Pauli strings by Clifford gates and circuits.
+
+These helpers reuse the sign-tracked BSF update rules so that a Pauli
+string ``P`` can be pushed through a Clifford circuit ``C`` to obtain
+``C P C†`` exactly, which is what turns PHOENIX's ISA-independent IR back
+into plain rotations when needed (and what the equivalence tests rely on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.paulis.bsf import BSF
+from repro.paulis.pauli import PauliString
+
+#: Clifford gates whose conjugation action is implemented.
+_SUPPORTED = {"h", "s", "sdg", "x", "y", "z", "cx", "cz", "cxx", "cyy", "czz",
+              "cxy", "cyz", "czx", "swap"}
+
+
+def conjugate_pauli_by_gate(pauli: PauliString, gate) -> PauliString:
+    """Return ``G P G†`` for a Clifford gate ``G`` in the gate IR."""
+    bsf = BSF(pauli.x.reshape(1, -1), pauli.z.reshape(1, -1), [1.0], [pauli.sign])
+    name = gate.name
+    if name == "h":
+        bsf.apply_h(gate.qubits[0])
+    elif name == "s":
+        bsf.apply_s(gate.qubits[0])
+    elif name == "sdg":
+        bsf.apply_sdg(gate.qubits[0])
+    elif name in ("x", "y", "z"):
+        _conjugate_by_pauli(bsf, name, gate.qubits[0])
+    elif name == "cx":
+        bsf.apply_cx(gate.qubits[0], gate.qubits[1])
+    elif name == "cz":
+        bsf.apply_clifford2q("zz", gate.qubits[0], gate.qubits[1])
+    elif name in ("cxx", "cyy", "czz", "cxy", "cyz", "czx"):
+        bsf.apply_clifford2q(name[1:], gate.qubits[0], gate.qubits[1])
+    elif name == "swap":
+        a, b = gate.qubits
+        bsf.apply_cx(a, b)
+        bsf.apply_cx(b, a)
+        bsf.apply_cx(a, b)
+    else:
+        raise ValueError(f"gate {name!r} is not a supported Clifford")
+    return PauliString(bsf.x[0], bsf.z[0], sign=int(bsf.signs[0]))
+
+
+def _conjugate_by_pauli(bsf: BSF, pauli_name: str, qubit: int) -> None:
+    """Conjugation by a Pauli gate only flips signs of anticommuting rows."""
+    if pauli_name == "x":
+        flip = bsf.z[:, qubit]
+    elif pauli_name == "z":
+        flip = bsf.x[:, qubit]
+    else:  # y anticommutes with both X and Z
+        flip = bsf.x[:, qubit] ^ bsf.z[:, qubit]
+    bsf.signs[flip] *= -1
+
+
+def conjugate_pauli_by_circuit(pauli: PauliString, gates: Iterable) -> PauliString:
+    """Return ``C P C†`` where ``C`` is the (Clifford) circuit ``gates``.
+
+    Gates are applied in circuit order, i.e. the first gate of ``gates`` is
+    the innermost conjugation.  Formally, for circuit ``C = G_k ... G_1``
+    (G_1 first), the result is ``G_k (... (G_1 P G_1†) ...) G_k†``.
+    """
+    result = pauli
+    for gate in gates:
+        result = conjugate_pauli_by_gate(result, gate)
+    return result

@@ -1,0 +1,159 @@
+"""The PHOENIX compiler facade.
+
+Ties the pipeline together:  grouping -> group-wise BSF simplification ->
+Tetris-like ordering -> emission -> ISA rebase -> optional hardware-aware
+mapping/routing.  The result records the circuit(s), the paper's metrics,
+and the Trotter order of the original Pauli exponentiations the circuit
+actually implements (for equivalence checking and error analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.emission import groups_to_circuit
+from repro.core.grouping import group_terms
+from repro.core.ordering import order_groups
+from repro.core.simplify import SimplifiedGroup, simplify_group
+from repro.hardware.routing.sabre import RoutedCircuit, route_circuit
+from repro.hardware.topology import Topology
+from repro.metrics.circuit_metrics import CircuitMetrics, circuit_metrics
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliTerm
+from repro.synthesis.consolidate import consolidate_su4
+from repro.synthesis.rebase import rebase_to_cx
+from repro.transforms.optimize import optimize_circuit
+
+Program = Union[Hamiltonian, Sequence[PauliTerm]]
+
+
+@dataclass
+class CompilationResult:
+    """Everything a PHOENIX compilation produces."""
+
+    circuit: QuantumCircuit
+    logical_circuit: QuantumCircuit
+    metrics: CircuitMetrics
+    logical_metrics: CircuitMetrics
+    implemented_terms: List[PauliTerm]
+    groups: List[SimplifiedGroup] = field(default_factory=list)
+    routed: Optional[RoutedCircuit] = None
+    routing_overhead: Optional[float] = None
+
+    @property
+    def cx_count(self) -> int:
+        return self.metrics.cx_count
+
+    @property
+    def depth_2q(self) -> int:
+        return self.metrics.depth_2q
+
+
+class PhoenixCompiler:
+    """Compile Hamiltonian-simulation programs with the PHOENIX pipeline.
+
+    Parameters
+    ----------
+    isa:
+        ``"cnot"`` (default) for the {CNOT, U3} ISA or ``"su4"`` for the
+        continuous SU(4) ISA (2Q blocks are consolidated into opaque SU(4)
+        gates, as in Table III).
+    topology:
+        When given (and not all-to-all), hardware-aware compilation is
+        performed: the logical circuit is mapped/routed SABRE-style and the
+        routing-overhead multiple is reported.
+    lookahead:
+        Look-ahead window of the Tetris-like group ordering.
+    optimization_level:
+        0 = raw emission, 2 = inverse cancellation + rotation merging
+        (the PHOENIX default), 3 = additionally commutation cancellation and
+        1Q fusion (the paper's "+ Qiskit O3" configuration).
+    """
+
+    def __init__(
+        self,
+        isa: str = "cnot",
+        topology: Optional[Topology] = None,
+        lookahead: int = 10,
+        optimization_level: int = 2,
+        seed: int = 0,
+    ):
+        if isa not in ("cnot", "su4"):
+            raise ValueError(f"unsupported ISA {isa!r}; expected 'cnot' or 'su4'")
+        self.isa = isa
+        self.topology = topology
+        self.lookahead = int(lookahead)
+        self.optimization_level = int(optimization_level)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _as_terms(self, program: Program) -> List[PauliTerm]:
+        if isinstance(program, Hamiltonian):
+            return program.to_terms()
+        terms = list(program)
+        if not terms:
+            raise ValueError("cannot compile an empty program")
+        return terms
+
+    def _hardware_aware(self) -> bool:
+        return self.topology is not None and not self.topology.is_all_to_all()
+
+    # ------------------------------------------------------------------
+    def compile(self, program: Program) -> CompilationResult:
+        """Run the full PHOENIX pipeline on a program."""
+        terms = self._as_terms(program)
+        num_qubits = terms[0].num_qubits
+
+        groups = group_terms(terms)
+        simplified = [simplify_group(group) for group in groups]
+        ordered = order_groups(
+            simplified,
+            num_qubits,
+            lookahead=self.lookahead,
+            routing_aware=self._hardware_aware(),
+        )
+        native = groups_to_circuit(ordered, num_qubits)
+        implemented_terms: List[PauliTerm] = []
+        for group in ordered:
+            implemented_terms.extend(group.implemented_terms())
+
+        logical_cx = rebase_to_cx(native)
+        logical_cx = optimize_circuit(logical_cx, level=self.optimization_level)
+
+        if self.isa == "su4":
+            logical = consolidate_su4(native)
+        else:
+            logical = logical_cx
+        logical_metrics = circuit_metrics(logical)
+
+        routed: Optional[RoutedCircuit] = None
+        routing_overhead: Optional[float] = None
+        final_circuit = logical
+        final_metrics = logical_metrics
+        if self._hardware_aware():
+            routed = route_circuit(
+                logical_cx, self.topology, seed=self.seed, decompose_swaps=False
+            )
+            hardware_circuit = rebase_to_cx(routed.circuit)
+            hardware_circuit = optimize_circuit(hardware_circuit, level=self.optimization_level)
+            if self.isa == "su4":
+                hardware_circuit = consolidate_su4(hardware_circuit)
+            final_circuit = hardware_circuit
+            final_metrics = replace(
+                circuit_metrics(hardware_circuit), swap_count=routed.swap_count
+            )
+            logical_cx_count = max(1, circuit_metrics(logical_cx).cx_count)
+            routing_overhead = final_metrics.cx_count / logical_cx_count if self.isa == "cnot" else None
+
+        return CompilationResult(
+            circuit=final_circuit,
+            logical_circuit=logical,
+            metrics=final_metrics,
+            logical_metrics=logical_metrics,
+            implemented_terms=implemented_terms,
+            groups=ordered,
+            routed=routed,
+            routing_overhead=routing_overhead,
+        )

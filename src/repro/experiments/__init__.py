@@ -1,0 +1,19 @@
+"""Experiment harness shared by the benchmark suite and the examples."""
+
+from repro.experiments.harness import (
+    CompilerSpec,
+    default_compilers,
+    run_benchmark,
+    run_suite,
+    format_table,
+    geometric_mean_rates,
+)
+
+__all__ = [
+    "CompilerSpec",
+    "default_compilers",
+    "run_benchmark",
+    "run_suite",
+    "format_table",
+    "geometric_mean_rates",
+]

@@ -1,0 +1,117 @@
+"""Experiment harness: run compiler suites and print paper-style tables.
+
+The benchmark files under ``benchmarks/`` use this module to regenerate the
+rows/series of each table and figure of the paper; the examples use it for
+smaller demonstrations.  Results are plain dictionaries so they can be
+printed, asserted on, or dumped to JSON without extra dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines import (
+    NaiveCompiler,
+    PaulihedralCompiler,
+    TetrisCompiler,
+    TketLikeCompiler,
+)
+from repro.core.compiler import CompilationResult, PhoenixCompiler
+from repro.hardware.topology import Topology
+from repro.metrics.circuit_metrics import optimization_rate
+from repro.paulis.pauli import PauliTerm
+from repro.utils.maths import geometric_mean
+
+
+@dataclass(frozen=True)
+class CompilerSpec:
+    """A named compiler factory used by the harness."""
+
+    name: str
+    factory: Callable[..., object]
+
+    def build(self, isa: str, topology: Optional[Topology], optimization_level: int):
+        return self.factory(
+            isa=isa, topology=topology, optimization_level=optimization_level
+        )
+
+
+def default_compilers(include_naive: bool = False) -> List[CompilerSpec]:
+    """The compiler line-up of the paper's main evaluation."""
+    specs = [
+        CompilerSpec("paulihedral", PaulihedralCompiler),
+        CompilerSpec("tetris", TetrisCompiler),
+        CompilerSpec("tket", TketLikeCompiler),
+        CompilerSpec("phoenix", PhoenixCompiler),
+    ]
+    if include_naive:
+        specs.insert(0, CompilerSpec("naive", NaiveCompiler))
+    return specs
+
+
+def run_benchmark(
+    terms: Sequence[PauliTerm],
+    compilers: Sequence[CompilerSpec],
+    isa: str = "cnot",
+    topology: Optional[Topology] = None,
+    optimization_level: int = 2,
+) -> Dict[str, CompilationResult]:
+    """Compile one program with every compiler in the line-up."""
+    results: Dict[str, CompilationResult] = {}
+    for spec in compilers:
+        compiler = spec.build(isa, topology, optimization_level)
+        results[spec.name] = compiler.compile(list(terms))
+    return results
+
+
+def run_suite(
+    programs: Dict[str, Sequence[PauliTerm]],
+    compilers: Sequence[CompilerSpec],
+    isa: str = "cnot",
+    topology: Optional[Topology] = None,
+    optimization_level: int = 2,
+) -> Dict[str, Dict[str, CompilationResult]]:
+    """Compile every program in ``programs`` with every compiler."""
+    return {
+        name: run_benchmark(terms, compilers, isa, topology, optimization_level)
+        for name, terms in programs.items()
+    }
+
+
+def geometric_mean_rates(
+    suite_results: Dict[str, Dict[str, CompilationResult]],
+    baseline: Dict[str, CompilationResult],
+    metric: str = "cx_count",
+) -> Dict[str, float]:
+    """Geometric-mean optimisation rate per compiler, relative to a baseline.
+
+    ``baseline`` maps benchmark name to the reference result (usually the
+    naive "original circuit"); the rate per benchmark is
+    ``metric(compiler) / metric(baseline)`` and the paper's Table II/III
+    averages are geometric means of these rates.
+    """
+    per_compiler: Dict[str, List[float]] = {}
+    for bench_name, results in suite_results.items():
+        reference = getattr(baseline[bench_name].metrics, metric)
+        for compiler_name, result in results.items():
+            value = getattr(result.metrics, metric)
+            per_compiler.setdefault(compiler_name, []).append(
+                optimization_rate(value, reference)
+            )
+    return {name: geometric_mean(rates) for name, rates in per_compiler.items()}
+
+
+def format_table(rows: Iterable[Sequence[object]], headers: Sequence[str]) -> str:
+    """Render a fixed-width text table (the harness's printing helper)."""
+    rows = [list(map(str, row)) for row in rows]
+    headers = list(map(str, headers))
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

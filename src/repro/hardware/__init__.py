@@ -1,0 +1,6 @@
+"""Hardware models: coupling topologies and qubit routing."""
+
+from repro.hardware.topology import Topology
+from repro.hardware.routing import route_circuit, RoutedCircuit, sabre_initial_mapping
+
+__all__ = ["Topology", "route_circuit", "RoutedCircuit", "sabre_initial_mapping"]

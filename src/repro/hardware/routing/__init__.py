@@ -1,0 +1,9 @@
+"""Qubit mapping and routing (SABRE-style)."""
+
+from repro.hardware.routing.sabre import (
+    RoutedCircuit,
+    route_circuit,
+    sabre_initial_mapping,
+)
+
+__all__ = ["RoutedCircuit", "route_circuit", "sabre_initial_mapping"]

@@ -1,0 +1,141 @@
+"""Device coupling topologies.
+
+Provides the topologies used in the paper's evaluation: all-to-all
+(logical-level compilation), and the IBM heavy-hex lattice (the 64-qubit
+Manhattan-style coupling graph used for hardware-aware compilation), plus
+line and grid topologies for tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class Topology:
+    """An undirected coupling graph over physical qubits 0..n-1."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]], name: str = "custom"):
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            if a == b:
+                raise ValueError("self-loop edges are not allowed")
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range for {self.num_qubits} qubits")
+            self.graph.add_edge(int(a), int(b))
+        self._distances: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def all_to_all(cls, num_qubits: int) -> "Topology":
+        edges = [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+        return cls(num_qubits, edges, name=f"all-to-all-{num_qubits}")
+
+    @classmethod
+    def line(cls, num_qubits: int) -> "Topology":
+        return cls(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)], name=f"line-{num_qubits}")
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "Topology":
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(num_qubits, edges, name=f"ring-{num_qubits}")
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "Topology":
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    edges.append((node, node + 1))
+                if r + 1 < rows:
+                    edges.append((node, node + cols))
+        return cls(rows * cols, edges, name=f"grid-{rows}x{cols}")
+
+    @classmethod
+    def heavy_hex(cls, row_lengths: Sequence[int] = (10, 11, 11, 11, 10)) -> "Topology":
+        """An IBM-style heavy-hex lattice.
+
+        Qubits are laid out as horizontal rows (chains) connected by bridge
+        qubits every four columns, with the bridge columns offset by two
+        between successive row gaps.  The default row lengths reproduce a
+        64-qubit Manhattan-style coupling graph (the device used for the
+        paper's hardware-aware evaluation).
+        """
+        row_start: List[int] = []
+        edges: List[Tuple[int, int]] = []
+        next_index = 0
+        # Row qubits and intra-row edges.
+        for length in row_lengths:
+            row_start.append(next_index)
+            for offset in range(length - 1):
+                edges.append((next_index + offset, next_index + offset + 1))
+            next_index += length
+        # Bridge qubits between consecutive rows.
+        for gap in range(len(row_lengths) - 1):
+            columns = range(0, max(row_lengths), 4) if gap % 2 == 0 else range(2, max(row_lengths), 4)
+            for column in columns:
+                if column >= row_lengths[gap] or column >= row_lengths[gap + 1]:
+                    continue
+                bridge = next_index
+                next_index += 1
+                top = row_start[gap] + column
+                bottom = row_start[gap + 1] + column
+                edges.append((top, bridge))
+                edges.append((bridge, bottom))
+        return cls(next_index, edges, name=f"heavy-hex-{next_index}")
+
+    @classmethod
+    def ibm_manhattan(cls) -> "Topology":
+        """The 64-qubit heavy-hex coupling graph used in the paper (Fig. 6)."""
+        return cls.heavy_hex((10, 11, 11, 11, 10))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_all_to_all(self) -> bool:
+        n = self.num_qubits
+        return self.graph.number_of_edges() == n * (n - 1) // 2
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(min(a, b), max(a, b)) for a, b in self.graph.edges()]
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree(qubit)
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances (hops); unreachable pairs are inf."""
+        if self._distances is None:
+            n = self.num_qubits
+            dist = np.full((n, n), np.inf)
+            lengths = dict(nx.all_pairs_shortest_path_length(self.graph))
+            for a, targets in lengths.items():
+                for b, d in targets.items():
+                    dist[a, b] = d
+            self._distances = dist
+        return self._distances
+
+    def distance(self, a: int, b: int) -> float:
+        return float(self.distance_matrix()[a, b])
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

@@ -1,0 +1,15 @@
+"""Evaluation metrics used across the benchmarks."""
+
+from repro.metrics.circuit_metrics import (
+    CircuitMetrics,
+    circuit_metrics,
+    optimization_rate,
+    routing_overhead,
+)
+
+__all__ = [
+    "CircuitMetrics",
+    "circuit_metrics",
+    "optimization_rate",
+    "routing_overhead",
+]

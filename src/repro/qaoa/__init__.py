@@ -1,0 +1,13 @@
+"""QAOA workload generation (the paper's Table IV / Fig. 7 benchmarks)."""
+
+from repro.qaoa.graphs import random_regular_graph, qaoa_benchmark_graph, QAOA_BENCHMARKS
+from repro.qaoa.ansatz import maxcut_hamiltonian, qaoa_program, qaoa_benchmark_program
+
+__all__ = [
+    "random_regular_graph",
+    "qaoa_benchmark_graph",
+    "QAOA_BENCHMARKS",
+    "maxcut_hamiltonian",
+    "qaoa_program",
+    "qaoa_benchmark_program",
+]

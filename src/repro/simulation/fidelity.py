@@ -1,0 +1,36 @@
+"""Fidelity metrics between unitaries and states.
+
+The paper's algorithmic-error metric (Section V.A) is the infidelity
+``1 - |Tr(U† V)| / N`` between the ideal evolution ``U`` and the unitary
+``V`` of the compiled circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def unitary_infidelity(ideal: np.ndarray, actual: np.ndarray) -> float:
+    """``1 - |Tr(U† V)| / N`` — the paper's algorithmic error."""
+    ideal = np.asarray(ideal, dtype=complex)
+    actual = np.asarray(actual, dtype=complex)
+    if ideal.shape != actual.shape or ideal.ndim != 2:
+        raise ValueError("unitaries must be square matrices of the same shape")
+    dim = ideal.shape[0]
+    overlap = abs(np.trace(ideal.conj().T @ actual)) / dim
+    return float(max(0.0, 1.0 - overlap))
+
+
+def process_fidelity(ideal: np.ndarray, actual: np.ndarray) -> float:
+    """``|Tr(U† V)|^2 / N^2`` — entanglement fidelity of the two unitaries."""
+    dim = ideal.shape[0]
+    return float(abs(np.trace(ideal.conj().T @ actual)) ** 2 / dim**2)
+
+
+def states_overlap(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """``|<a|b>|^2`` for two statevectors."""
+    a = np.asarray(state_a, dtype=complex).ravel()
+    b = np.asarray(state_b, dtype=complex).ravel()
+    if a.shape != b.shape:
+        raise ValueError("statevectors must have the same dimension")
+    return float(abs(np.vdot(a, b)) ** 2)

@@ -1,0 +1,18 @@
+"""Circuit synthesis: Pauli exponentiations, ISA rebase, 2Q consolidation."""
+
+from repro.synthesis.pauli_exp import (
+    synthesize_pauli_term,
+    synthesize_terms,
+    basis_change_gates,
+)
+from repro.synthesis.rebase import rebase_to_cx, decompose_gate_to_cx
+from repro.synthesis.consolidate import consolidate_su4
+
+__all__ = [
+    "synthesize_pauli_term",
+    "synthesize_terms",
+    "basis_change_gates",
+    "rebase_to_cx",
+    "decompose_gate_to_cx",
+    "consolidate_su4",
+]

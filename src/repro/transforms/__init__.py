@@ -1,0 +1,30 @@
+"""Circuit optimisation passes (the reproduction's "Qiskit O2/O3" stand-in).
+
+The pipeline combines inverse-gate cancellation, commutation-aware
+cancellation, rotation merging and single-qubit fusion into U3.  It is used
+(a) as the post-processing pass attached to the Paulihedral-/Tetris-like
+baselines, exactly as the paper attaches Qiskit O2/O3, and (b) optionally
+after PHOENIX, for the "+ O3" rows of Table II.
+"""
+
+from repro.transforms.pass_manager import PassManager, CircuitPass
+from repro.transforms.cancellation import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+)
+from repro.transforms.commutation import commutation_cancellation
+from repro.transforms.fusion import fuse_single_qubit_gates, drop_identities
+from repro.transforms.optimize import optimize_circuit, O3_PIPELINE, O2_PIPELINE
+
+__all__ = [
+    "PassManager",
+    "CircuitPass",
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "commutation_cancellation",
+    "fuse_single_qubit_gates",
+    "drop_identities",
+    "optimize_circuit",
+    "O3_PIPELINE",
+    "O2_PIPELINE",
+]

@@ -1,0 +1,42 @@
+"""The packaged optimisation pipelines ("O2" / "O3" stand-ins).
+
+``O2_PIPELINE`` performs inverse cancellation and rotation merging only —
+the paper pairs Paulihedral with Qiskit O2 by default because its output is
+dominated by directly cancellable CNOT pairs.  ``O3_PIPELINE`` additionally
+runs commutation-aware cancellation and single-qubit fusion.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.transforms.cancellation import cancel_adjacent_inverses, merge_rotations
+from repro.transforms.commutation import commutation_cancellation
+from repro.transforms.fusion import drop_identities, fuse_single_qubit_gates
+from repro.transforms.pass_manager import CircuitPass, PassManager
+
+O2_PIPELINE = PassManager(
+    [
+        CircuitPass("drop_identities", drop_identities),
+        CircuitPass("cancel_inverses", cancel_adjacent_inverses),
+        CircuitPass("merge_rotations", merge_rotations),
+    ]
+)
+
+O3_PIPELINE = PassManager(
+    [
+        CircuitPass("drop_identities", drop_identities),
+        CircuitPass("cancel_inverses", cancel_adjacent_inverses),
+        CircuitPass("merge_rotations", merge_rotations),
+        CircuitPass("commutation_cancellation", commutation_cancellation),
+        CircuitPass("fuse_single_qubit", fuse_single_qubit_gates),
+    ]
+)
+
+
+def optimize_circuit(circuit: QuantumCircuit, level: int = 3) -> QuantumCircuit:
+    """Run the optimisation pipeline at level 0 (no-op), 2, or 3."""
+    if level <= 0:
+        return circuit
+    if level <= 2:
+        return O2_PIPELINE.run(circuit)
+    return O3_PIPELINE.run(circuit)

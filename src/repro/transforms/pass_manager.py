@@ -1,0 +1,48 @@
+"""A minimal pass manager: named passes applied until a fixpoint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class CircuitPass:
+    """A named circuit-to-circuit transformation."""
+
+    name: str
+    transform: Callable[[QuantumCircuit], QuantumCircuit]
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        return self.transform(circuit)
+
+
+class PassManager:
+    """Applies a sequence of passes, optionally iterating to a fixpoint.
+
+    The fixpoint criterion is the (gate count, 2Q count) signature: a round
+    that does not reduce either stops the iteration.  ``max_iterations``
+    bounds the loop for safety.
+    """
+
+    def __init__(self, passes: Sequence[CircuitPass], iterate: bool = True, max_iterations: int = 10):
+        self.passes: List[CircuitPass] = list(passes)
+        self.iterate = iterate
+        self.max_iterations = int(max_iterations)
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        current = circuit
+        for _ in range(self.max_iterations if self.iterate else 1):
+            signature = (len(current), current.count_2q())
+            for pass_ in self.passes:
+                current = pass_.run(current)
+            new_signature = (len(current), current.count_2q())
+            if not self.iterate or new_signature >= signature:
+                break
+        return current
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.passes)
+        return f"PassManager([{names}], iterate={self.iterate})"

@@ -1,0 +1,36 @@
+"""Input-validation helpers.
+
+These helpers raise uniform, descriptive exceptions so that user-facing
+classes (circuits, Pauli strings, topologies) do not each re-implement
+bounds checking.
+"""
+
+from __future__ import annotations
+
+
+def check_qubit_index(qubit: int, num_qubits: int, what: str = "qubit") -> int:
+    """Validate that ``qubit`` is a valid index for ``num_qubits`` qubits.
+
+    Returns the validated index so it can be used inline.
+    """
+    if not isinstance(qubit, (int,)) or isinstance(qubit, bool):
+        raise TypeError(f"{what} index must be an int, got {type(qubit).__name__}")
+    if qubit < 0 or qubit >= num_qubits:
+        raise ValueError(
+            f"{what} index {qubit} out of range for {num_qubits} qubits"
+        )
+    return qubit
+
+
+def check_positive(value: float, what: str = "value") -> float:
+    """Validate that ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{what} must be positive, got {value}")
+    return value
+
+
+def check_probability(value: float, what: str = "probability") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if value < 0 or value > 1:
+        raise ValueError(f"{what} must lie in [0, 1], got {value}")
+    return value

@@ -1,0 +1,86 @@
+"""Tests for the Jordan-Wigner and Bravyi-Kitaev encodings.
+
+The key correctness property is the canonical anticommutation relations
+(CAR): ``{a_i, a†_j} = delta_ij`` and ``{a_i, a_j} = 0``; any map satisfying
+them is a valid fermion-to-qubit encoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.bravyi_kitaev import FenwickTree, bravyi_kitaev
+from repro.chemistry.fermion import FermionOperator
+from repro.chemistry.jordan_wigner import jordan_wigner
+
+ENCODINGS = [("jw", jordan_wigner), ("bk", bravyi_kitaev)]
+
+
+@pytest.mark.parametrize("name,transform", ENCODINGS)
+class TestCanonicalAnticommutation:
+    def test_car_relations(self, name, transform):
+        num_modes = 4
+        creators = [
+            transform(FermionOperator.creation(i), num_modes).to_matrix()
+            for i in range(num_modes)
+        ]
+        annihilators = [
+            transform(FermionOperator.annihilation(i), num_modes).to_matrix()
+            for i in range(num_modes)
+        ]
+        identity = np.eye(2**num_modes)
+        for i in range(num_modes):
+            for j in range(num_modes):
+                mixed = annihilators[i] @ creators[j] + creators[j] @ annihilators[i]
+                expected = identity if i == j else np.zeros_like(identity)
+                assert np.allclose(mixed, expected, atol=1e-9)
+                same = annihilators[i] @ annihilators[j] + annihilators[j] @ annihilators[i]
+                assert np.allclose(same, 0, atol=1e-9)
+
+    def test_number_operator_spectrum(self, name, transform):
+        num_modes = 3
+        number = FermionOperator.creation(1) * FermionOperator.annihilation(1)
+        matrix = transform(number, num_modes).to_matrix()
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert np.allclose(np.sort(np.unique(np.round(eigenvalues, 9))), [0.0, 1.0])
+
+
+class TestJordanWignerStructure:
+    def test_ladder_weight_grows_with_mode(self):
+        op = jordan_wigner(FermionOperator.creation(3), 5)
+        weights = {string.weight() for _, string in op.items()}
+        assert weights == {4}  # Z-chain over modes 0..2 plus X/Y on mode 3
+
+    def test_out_of_range_mode_rejected(self):
+        with pytest.raises(ValueError):
+            jordan_wigner(FermionOperator.creation(6), 4)
+
+
+class TestBravyiKitaevStructure:
+    def test_fenwick_tree_sets(self):
+        tree = FenwickTree(8)
+        # Mode 0 is a leaf: no children, ancestors exist.
+        assert tree.flip_set(0) == set()
+        assert 7 in tree.update_set(0)
+        # The root stores the total parity: no ancestors.
+        assert tree.update_set(7) == set()
+        # Parity and remainder sets only contain lower-index modes.
+        for j in range(8):
+            assert all(k < j for k in tree.parity_set(j))
+            assert tree.remainder_set(j) <= tree.parity_set(j)
+
+    def test_bk_weight_is_logarithmic(self):
+        """BK ladder operators touch O(log n) qubits, unlike JW's O(n)."""
+        num_modes = 8
+        op = bravyi_kitaev(FermionOperator.creation(num_modes - 1), num_modes)
+        max_weight = max(string.weight() for _, string in op.items())
+        jw_weight = max(
+            string.weight()
+            for _, string in jordan_wigner(
+                FermionOperator.creation(num_modes - 1), num_modes
+            ).items()
+        )
+        assert max_weight < jw_weight
+
+    def test_out_of_range_mode_rejected(self):
+        with pytest.raises(ValueError):
+            bravyi_kitaev(FermionOperator.creation(9), 4)

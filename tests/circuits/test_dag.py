@@ -1,0 +1,47 @@
+"""Tests for layering, depth and endian vectors."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import circuit_depth, circuit_layers, endian_vectors
+
+
+class TestLayers:
+    def test_parallel_gates_share_a_layer(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2)
+        layers = circuit_layers(circuit, two_qubit_only=True)
+        assert len(layers) == 2
+        assert len(layers[0]) == 2
+
+    def test_two_qubit_only_skips_1q(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(1).cx(0, 1)
+        assert circuit_depth(circuit, two_qubit_only=True) == 2
+        assert circuit_depth(circuit) == 4
+
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert circuit_depth(circuit) == 0
+        assert circuit_layers(circuit) == []
+
+
+class TestEndianVectors:
+    def test_simple_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        e_left, e_right = endian_vectors(circuit)
+        assert e_left == [0, 0, 1]
+        assert e_right == [1, 0, 0]
+
+    def test_untouched_qubit_gets_full_depth(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(0, 1)
+        e_left, e_right = endian_vectors(circuit)
+        assert e_left[2] == 2
+        assert e_right[2] == 2
+
+    def test_restricted_qubits(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2)
+        e_left, e_right = endian_vectors(circuit, qubits=[1, 2])
+        assert e_left == [0, 0]
+        assert e_right == [0, 0]

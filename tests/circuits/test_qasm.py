@@ -1,0 +1,31 @@
+"""Tests for OpenQASM 2 export."""
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+class TestQasmExport:
+    def test_header_and_register(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        qasm = circuit.to_qasm()
+        assert "OPENQASM 2.0;" in qasm
+        assert "qreg q[3];" in qasm
+        assert "h q[0];" in qasm
+
+    def test_parameterised_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.25, 0).rzz(0.5, 0, 1).u3(0.1, 0.2, 0.3, 1)
+        qasm = circuit.to_qasm()
+        assert "rz(0.25) q[0];" in qasm
+        assert "rzz(0.5) q[0], q[1];" in qasm
+        assert "u3(0.1, 0.2, 0.3) q[1];" in qasm
+
+    def test_native_ir_gates_are_lowered(self):
+        circuit = QuantumCircuit(2)
+        circuit.controlled_pauli("xy", 0, 1).rpp("x", "z", 0.3, 0, 1)
+        qasm = circuit.to_qasm()
+        # Universal controlled Paulis and rpp do not exist in qelib1: they
+        # must have been rebased to cx + 1Q gates.
+        assert "cxy" not in qasm
+        assert "rpp" not in qasm
+        assert "cx q[0], q[1];" in qasm

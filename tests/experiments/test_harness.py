@@ -1,0 +1,40 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.baselines import NaiveCompiler
+from repro.experiments.harness import (
+    CompilerSpec,
+    default_compilers,
+    format_table,
+    geometric_mean_rates,
+    run_benchmark,
+    run_suite,
+)
+
+
+class TestHarness:
+    def test_default_compilers_lineup(self):
+        names = [spec.name for spec in default_compilers()]
+        assert names == ["paulihedral", "tetris", "tket", "phoenix"]
+        assert default_compilers(include_naive=True)[0].name == "naive"
+
+    def test_run_benchmark_and_rates(self, tiny_program):
+        compilers = [
+            CompilerSpec("naive", NaiveCompiler),
+            default_compilers()[-1],  # phoenix
+        ]
+        results = run_benchmark(tiny_program, compilers)
+        assert set(results) == {"naive", "phoenix"}
+
+        suite = run_suite({"tiny": tiny_program}, compilers)
+        baseline = {"tiny": results["naive"]}
+        rates = geometric_mean_rates(suite, baseline, metric="cx_count")
+        assert rates["naive"] == pytest.approx(1.0)
+        assert rates["phoenix"] <= 1.0
+
+    def test_format_table(self):
+        table = format_table([["a", 1], ["bb", 22]], headers=["name", "value"])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4

@@ -1,0 +1,49 @@
+"""Tests for circuit metrics."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.metrics.circuit_metrics import circuit_metrics, optimization_rate, routing_overhead
+from repro.utils.maths import geometric_mean
+
+
+class TestCircuitMetrics:
+    def test_counts_and_depths(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2).cx(1, 2)
+        metrics = circuit_metrics(circuit)
+        assert metrics.cx_count == 3
+        assert metrics.two_qubit_count == 3
+        assert metrics.depth_2q == 3
+        assert metrics.swap_count == 0
+
+    def test_swap_counts_as_three_cnots(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).swap(0, 1)
+        metrics = circuit_metrics(circuit)
+        assert metrics.cx_count == 4
+        assert circuit_metrics(circuit, count_swap_as_cx=False).cx_count == 1
+
+    def test_as_dict(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        assert circuit_metrics(circuit).as_dict()["cx_count"] == 1
+
+
+class TestRates:
+    def test_optimization_rate(self):
+        assert optimization_rate(20, 100) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            optimization_rate(20, 0)
+
+    def test_routing_overhead(self):
+        assert routing_overhead(283, 100) == pytest.approx(2.83)
+        with pytest.raises(ValueError):
+            routing_overhead(10, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([0.25, 1.0]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

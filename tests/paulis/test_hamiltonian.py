@@ -1,0 +1,56 @@
+"""Tests for the Hamiltonian container."""
+
+import numpy as np
+import pytest
+
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliString
+
+
+class TestHamiltonian:
+    def test_from_labels_and_len(self):
+        ham = Hamiltonian.from_labels([("XX", 0.5), ("ZZ", -0.25)])
+        assert len(ham) == 2
+        assert ham.num_qubits == 2
+
+    def test_add_term_width_mismatch(self):
+        ham = Hamiltonian(3)
+        with pytest.raises(ValueError):
+            ham.add_term(1.0, PauliString.from_label("XX"))
+
+    def test_simplify_combines_duplicates(self):
+        ham = Hamiltonian.from_labels([("XX", 0.5), ("XX", 0.25), ("ZZ", 1e-15)])
+        simplified = ham.simplify()
+        assert len(simplified) == 1
+        assert simplified.terms[0][0] == pytest.approx(0.75)
+
+    def test_scaled_and_mul(self):
+        ham = Hamiltonian.from_labels([("Z", 2.0)])
+        assert (3 * ham).coefficients()[0] == pytest.approx(6.0)
+
+    def test_add(self):
+        a = Hamiltonian.from_labels([("X", 1.0)])
+        b = Hamiltonian.from_labels([("Z", 2.0)])
+        combined = a + b
+        assert len(combined) == 2
+
+    def test_max_weight(self):
+        ham = Hamiltonian.from_labels([("XIZ", 1.0), ("XYZ", 1.0)])
+        assert ham.max_weight() == 3
+
+    def test_to_matrix_is_hermitian(self):
+        ham = Hamiltonian.from_labels([("XY", 0.3), ("ZI", -0.7)])
+        matrix = ham.to_matrix()
+        assert np.allclose(matrix, matrix.conj().T)
+
+    def test_to_matrix_refuses_large_registers(self):
+        ham = Hamiltonian(20)
+        ham.add_term(1.0, PauliString.from_sparse(20, {0: "Z"}))
+        with pytest.raises(ValueError):
+            ham.to_matrix()
+
+    def test_to_terms_roundtrip(self):
+        ham = Hamiltonian.from_labels([("XZ", 0.5), ("YY", -1.0)])
+        terms = ham.to_terms()
+        rebuilt = Hamiltonian.from_terms(terms)
+        assert np.allclose(rebuilt.to_matrix(), ham.to_matrix())

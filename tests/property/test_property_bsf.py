@@ -1,0 +1,95 @@
+"""Property-based tests for the BSF and Clifford conjugation invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.simplify import simplify_group
+from repro.core.grouping import IRGroup
+from repro.paulis.bsf import BSF, CLIFFORD2Q_KINDS
+from repro.paulis.pauli import PauliString, PauliTerm
+
+_LETTERS = "IXYZ"
+
+
+def _labels(num_qubits, min_rows=1, max_rows=6):
+    label = st.text(alphabet=_LETTERS, min_size=num_qubits, max_size=num_qubits)
+    return st.lists(label, min_size=min_rows, max_size=max_rows).filter(
+        lambda rows: any(set(r) != {"I"} for r in rows)
+    )
+
+
+def _nontrivial_terms(rows):
+    return [PauliTerm.from_label(r, 0.1 * (i + 1)) for i, r in enumerate(rows) if set(r) != {"I"}]
+
+
+class TestCliffordConjugationProperties:
+    @given(rows=_labels(4), kind=st.sampled_from(CLIFFORD2Q_KINDS),
+           pair=st.permutations(range(4)))
+    @settings(max_examples=60, deadline=None)
+    def test_conjugation_preserves_row_count_and_is_involutory(self, rows, kind, pair):
+        terms = _nontrivial_terms(rows)
+        if not terms:
+            return
+        bsf = BSF.from_terms(terms)
+        original = bsf.copy()
+        control, target = pair[0], pair[1]
+        bsf.apply_clifford2q(kind, control, target)
+        assert bsf.num_terms == original.num_terms
+        bsf.apply_clifford2q(kind, control, target)
+        assert np.array_equal(bsf.x, original.x)
+        assert np.array_equal(bsf.z, original.z)
+        assert np.array_equal(bsf.signs, original.signs)
+
+    @given(rows=_labels(4), kind=st.sampled_from(CLIFFORD2Q_KINDS),
+           pair=st.permutations(range(4)))
+    @settings(max_examples=60, deadline=None)
+    def test_conjugation_preserves_commutation_structure(self, rows, kind, pair):
+        """Clifford conjugation is an automorphism of the Pauli group: the
+        pairwise commutation matrix of the rows is invariant."""
+        terms = _nontrivial_terms(rows)
+        if len(terms) < 2:
+            return
+        bsf = BSF.from_terms(terms)
+
+        def commutation_matrix(b):
+            strings = [PauliString(b.x[i], b.z[i]) for i in range(b.num_terms)]
+            return [
+                [strings[i].commutes_with(strings[j]) for j in range(len(strings))]
+                for i in range(len(strings))
+            ]
+
+        before = commutation_matrix(bsf)
+        bsf.apply_clifford2q(kind, pair[0], pair[1])
+        assert commutation_matrix(bsf) == before
+
+    @given(rows=_labels(4))
+    @settings(max_examples=40, deadline=None)
+    def test_coefficients_never_change_magnitude(self, rows):
+        terms = _nontrivial_terms(rows)
+        if not terms:
+            return
+        bsf = BSF.from_terms(terms)
+        magnitudes = np.abs(bsf.coefficients).copy()
+        for kind in CLIFFORD2Q_KINDS:
+            bsf.apply_clifford2q(kind, 0, 1)
+        assert np.allclose(np.abs(bsf.coefficients), magnitudes)
+        assert set(np.unique(bsf.signs)) <= {-1, 1}
+
+
+class TestSimplificationProperties:
+    @given(rows=_labels(4, min_rows=2, max_rows=5))
+    @settings(max_examples=30, deadline=None)
+    def test_simplification_always_reaches_weight_two(self, rows):
+        terms = _nontrivial_terms(rows)
+        if not terms:
+            return
+        # Build one group per support and simplify each.
+        from repro.core.grouping import group_terms
+
+        for group in group_terms(terms):
+            simplified = simplify_group(group)
+            union = set()
+            for term in simplified.final_terms:
+                union.update(term.support())
+            assert len(union) <= 2
+            assert sorted(simplified.implemented_order) == list(range(group.num_terms))

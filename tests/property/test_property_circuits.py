@@ -1,0 +1,68 @@
+"""Property-based tests for circuit depth/layer invariants and Pauli algebra."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import circuit_depth, circuit_layers
+from repro.paulis.pauli import PauliString
+
+_LETTERS = "IXYZ"
+_labels = st.text(alphabet=_LETTERS, min_size=3, max_size=3)
+
+
+class TestPauliAlgebraProperties:
+    @given(a=_labels, b=_labels)
+    @settings(max_examples=80, deadline=None)
+    def test_commutation_is_symmetric_and_matches_matrices(self, a, b):
+        pa, pb = PauliString.from_label(a), PauliString.from_label(b)
+        assert pa.commutes_with(pb) == pb.commutes_with(pa)
+        commutator = pa.to_matrix() @ pb.to_matrix() - pb.to_matrix() @ pa.to_matrix()
+        assert pa.commutes_with(pb) == bool(np.allclose(commutator, 0))
+
+    @given(a=_labels, b=_labels)
+    @settings(max_examples=80, deadline=None)
+    def test_compose_weight_bound(self, a, b):
+        pa, pb = PauliString.from_label(a), PauliString.from_label(b)
+        _, product = pa.compose(pb)
+        assert product.weight() <= pa.weight() + pb.weight()
+
+    @given(label=_labels)
+    @settings(max_examples=40, deadline=None)
+    def test_label_roundtrip(self, label):
+        assert PauliString.from_label(label).to_label() == label
+
+
+@st.composite
+def cx_circuits(draw):
+    num_qubits = draw(st.integers(2, 5))
+    length = draw(st.integers(0, 30))
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(length):
+        pair = draw(st.permutations(range(num_qubits)))
+        circuit.cx(int(pair[0]), int(pair[1]))
+    return circuit
+
+
+class TestDepthProperties:
+    @given(circuit=cx_circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_layers_partition_all_gates(self, circuit):
+        layers = circuit_layers(circuit, two_qubit_only=True)
+        assert sum(len(layer) for layer in layers) == len(circuit)
+        assert len(layers) == circuit_depth(circuit, two_qubit_only=True)
+
+    @given(circuit=cx_circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_no_layer_reuses_a_qubit(self, circuit):
+        for layer in circuit_layers(circuit, two_qubit_only=True):
+            used = [q for gate in layer for q in gate.qubits]
+            assert len(used) == len(set(used))
+
+    @given(circuit=cx_circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_depth_bounds(self, circuit):
+        depth = circuit_depth(circuit, two_qubit_only=True)
+        assert depth <= len(circuit)
+        if len(circuit) > 0:
+            assert depth >= 1

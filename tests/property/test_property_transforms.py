@@ -1,0 +1,65 @@
+"""Property-based tests: optimisation passes must preserve the unitary."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation.unitary import circuit_unitary
+from repro.synthesis.rebase import rebase_to_cx
+from repro.transforms.optimize import optimize_circuit
+
+_NUM_QUBITS = 3
+
+_gate_choice = st.sampled_from(
+    ["h", "s", "sdg", "t", "x", "rz", "rx", "cx", "cz", "rzz", "cxy", "swap"]
+)
+
+
+@st.composite
+def random_circuits(draw):
+    length = draw(st.integers(min_value=1, max_value=25))
+    circuit = QuantumCircuit(_NUM_QUBITS)
+    for _ in range(length):
+        name = draw(_gate_choice)
+        if name in ("cx", "cz", "rzz", "cxy", "swap"):
+            qubits = draw(st.permutations(range(_NUM_QUBITS)))
+            a, b = int(qubits[0]), int(qubits[1])
+            if name == "rzz":
+                circuit.rzz(draw(st.floats(-3, 3, allow_nan=False)), a, b)
+            elif name == "cxy":
+                circuit.controlled_pauli("xy", a, b)
+            elif name == "swap":
+                circuit.swap(a, b)
+            elif name == "cz":
+                circuit.cz(a, b)
+            else:
+                circuit.cx(a, b)
+        else:
+            qubit = draw(st.integers(0, _NUM_QUBITS - 1))
+            if name in ("rz", "rx"):
+                angle = draw(st.floats(-3, 3, allow_nan=False))
+                getattr(circuit, name)(angle, qubit)
+            else:
+                getattr(circuit, name)(qubit)
+    return circuit
+
+
+def _overlap(a, b):
+    ua, ub = circuit_unitary(a), circuit_unitary(b)
+    return abs(np.trace(ua.conj().T @ ub)) / ua.shape[0]
+
+
+class TestOptimisationPreservesSemantics:
+    @given(circuit=random_circuits(), level=st.sampled_from([2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_preserves_unitary_up_to_global_phase(self, circuit, level):
+        optimized = optimize_circuit(circuit, level=level)
+        assert np.isclose(_overlap(circuit, optimized), 1.0, atol=1e-8)
+        assert optimized.count_2q() <= circuit.count_2q()
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_rebase_preserves_unitary_and_isa(self, circuit):
+        rebased = rebase_to_cx(circuit)
+        assert np.isclose(_overlap(circuit, rebased), 1.0, atol=1e-8)
+        assert {g.name for g in rebased if g.is_two_qubit()} <= {"cx"}

@@ -1,0 +1,59 @@
+"""Tests for QAOA workload generation."""
+
+import networkx as nx
+import pytest
+
+from repro.qaoa.ansatz import maxcut_hamiltonian, qaoa_benchmark_program, qaoa_program
+from repro.qaoa.graphs import QAOA_BENCHMARKS, qaoa_benchmark_graph, random_regular_graph
+
+
+class TestGraphs:
+    def test_regular_graph_degrees(self):
+        graph = random_regular_graph(3, 10, seed=1)
+        assert all(d == 3 for _, d in graph.degree())
+        assert nx.is_connected(graph)
+
+    def test_odd_degree_times_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(3, 7)
+
+    def test_benchmark_graphs_match_table_iv_sizes(self):
+        expected_paulis = {"Rand-16": 32, "Rand-20": 40, "Rand-24": 48,
+                           "Reg3-16": 24, "Reg3-20": 30, "Reg3-24": 36}
+        for name, count in expected_paulis.items():
+            graph = qaoa_benchmark_graph(name)
+            assert graph.number_of_edges() == count
+            assert graph.number_of_nodes() == QAOA_BENCHMARKS[name][1]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_benchmark_graph("Rand-99")
+
+
+class TestPrograms:
+    def test_maxcut_hamiltonian_terms(self):
+        graph = nx.path_graph(4)
+        ham = maxcut_hamiltonian(graph)
+        assert len(ham) == 3
+        assert all(string.weight() == 2 for _, string in ham)
+
+    def test_qaoa_program_weights(self):
+        graph = nx.cycle_graph(5)
+        terms = qaoa_program(graph, gamma=0.4)
+        assert len(terms) == 5
+        assert all(t.weight() == 2 for t in terms)
+        assert all(t.coefficient == pytest.approx(0.4) for t in terms)
+
+    def test_mixer_layer_included_when_requested(self):
+        graph = nx.cycle_graph(4)
+        terms = qaoa_program(graph, include_mixer=True)
+        assert sum(1 for t in terms if t.weight() == 1) == 4
+
+    def test_multiple_layers(self):
+        graph = nx.cycle_graph(4)
+        assert len(qaoa_program(graph, layers=3)) == 12
+
+    def test_benchmark_program(self):
+        terms = qaoa_benchmark_program("Reg3-16")
+        assert len(terms) == 24
+        assert terms[0].num_qubits == 16

@@ -1,0 +1,100 @@
+"""Tests for inverse cancellation and rotation merging."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation.unitary import circuit_unitary
+from repro.transforms.cancellation import cancel_adjacent_inverses, merge_rotations
+
+
+def _equivalent(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    ua, ub = circuit_unitary(a), circuit_unitary(b)
+    return bool(np.isclose(abs(np.trace(ua.conj().T @ ub)) / ua.shape[0], 1.0, atol=1e-9))
+
+
+class TestInverseCancellation:
+    def test_adjacent_cx_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_s_sdg_cancels(self):
+        circuit = QuantumCircuit(1)
+        circuit.s(0).sdg(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_blocked_pair_does_not_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).h(0).cx(0, 1)
+        assert cancel_adjacent_inverses(circuit).count("cx") == 2
+
+    def test_nested_cancellation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).h(0).h(0).cx(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_stale_predecessor_regression(self):
+        """Cancelling an inner pair must not fake adjacency across a survivor.
+
+        Regression test for the bookkeeping bug where removing H·H made the
+        two CX gates look adjacent even though an Rz on the control sits
+        between them.
+        """
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).rz(0.7, 0).h(0).h(0).cx(0, 1)
+        optimized = cancel_adjacent_inverses(circuit)
+        assert optimized.count("cx") == 2
+        assert _equivalent(circuit, optimized)
+
+    def test_direction_matters_for_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0)
+        assert cancel_adjacent_inverses(circuit).count("cx") == 2
+
+    def test_preserves_unitary_on_random_clifford_circuit(self):
+        rng = np.random.default_rng(0)
+        circuit = QuantumCircuit(3)
+        for _ in range(40):
+            choice = rng.integers(0, 4)
+            if choice == 0:
+                circuit.h(int(rng.integers(3)))
+            elif choice == 1:
+                circuit.s(int(rng.integers(3)))
+            elif choice == 2:
+                circuit.sdg(int(rng.integers(3)))
+            else:
+                a, b = rng.choice(3, 2, replace=False)
+                circuit.cx(int(a), int(b))
+        assert _equivalent(circuit, cancel_adjacent_inverses(circuit))
+
+
+class TestRotationMerging:
+    def test_adjacent_rz_merge(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.25, 0).rz(0.5, 0)
+        merged = merge_rotations(circuit)
+        assert len(merged) == 1
+        assert merged[0].params[0] == pytest.approx(0.75)
+
+    def test_opposite_angles_cancel_entirely(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.4, 0).rz(-0.4, 0)
+        assert len(merge_rotations(circuit)) == 0
+
+    def test_rzz_merge(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.1, 0, 1).rzz(0.2, 0, 1)
+        merged = merge_rotations(circuit)
+        assert len(merged) == 1
+        assert merged[0].params[0] == pytest.approx(0.3)
+
+    def test_different_axes_do_not_merge(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.1, 0).rx(0.2, 0)
+        assert len(merge_rotations(circuit)) == 2
+
+    def test_merge_preserves_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.2, 0).rz(0.3, 0).cx(0, 1).rzz(0.5, 0, 1).rzz(-0.5, 0, 1).rx(0.1, 1)
+        assert _equivalent(circuit, merge_rotations(circuit))

@@ -1,0 +1,58 @@
+"""Tests for commutation-aware cancellation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation.unitary import circuit_unitary
+from repro.transforms.commutation import _commutes, commutation_cancellation
+from repro.circuits.gates import Gate
+
+
+def _equivalent(a, b):
+    ua, ub = circuit_unitary(a), circuit_unitary(b)
+    return bool(np.isclose(abs(np.trace(ua.conj().T @ ub)) / ua.shape[0], 1.0, atol=1e-9))
+
+
+class TestCommutationRules:
+    def test_rz_commutes_with_cx_control(self):
+        assert _commutes(Gate("cx", (0, 1)), Gate("rz", (0,), (0.3,)))
+
+    def test_rz_does_not_commute_with_cx_target(self):
+        assert not _commutes(Gate("cx", (0, 1)), Gate("rz", (1,), (0.3,)))
+
+    def test_x_commutes_with_cx_target(self):
+        assert _commutes(Gate("cx", (0, 1)), Gate("x", (1,)))
+
+    def test_cx_sharing_control_commute(self):
+        assert _commutes(Gate("cx", (0, 1)), Gate("cx", (0, 2)))
+
+    def test_cx_control_target_overlap_do_not_commute(self):
+        assert not _commutes(Gate("cx", (0, 1)), Gate("cx", (1, 2)))
+
+    def test_disjoint_gates_commute(self):
+        assert _commutes(Gate("cx", (0, 1)), Gate("h", (2,)))
+
+
+class TestCommutationCancellation:
+    def test_rz_through_cx_control_merges(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.3, 0).cx(0, 1).rz(-0.3, 0).cx(0, 1)
+        optimized = commutation_cancellation(circuit)
+        assert optimized.count("rz") == 0
+        assert optimized.count("cx") == 0
+        assert _equivalent(circuit, optimized)
+
+    def test_cx_pair_separated_by_commuting_rz(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).rz(0.4, 0).cx(0, 1)
+        optimized = commutation_cancellation(circuit)
+        assert optimized.count("cx") == 0
+        assert _equivalent(circuit, optimized)
+
+    def test_preserves_unitary_on_mixed_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).rz(0.2, 0).cx(0, 2).rz(-0.2, 0).cx(0, 1).x(2).cx(0, 2)
+        optimized = commutation_cancellation(circuit)
+        assert _equivalent(circuit, optimized)
+        assert optimized.count_2q() <= circuit.count_2q()

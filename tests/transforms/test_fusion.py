@@ -1,0 +1,47 @@
+"""Tests for single-qubit fusion and identity dropping."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation.unitary import circuit_unitary
+from repro.transforms.fusion import drop_identities, fuse_single_qubit_gates
+
+
+class TestFusion:
+    def test_run_of_1q_gates_becomes_one_u3(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).rz(0.3, 0).h(0)
+        fused = fuse_single_qubit_gates(circuit)
+        assert len(fused) == 1
+        assert fused[0].name == "u3"
+
+    def test_identity_run_is_dropped(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0)
+        assert len(fuse_single_qubit_gates(circuit)) == 0
+
+    def test_diagonal_run_is_not_dropped(self):
+        """Regression test: S·S is a phase gate, not the identity."""
+        circuit = QuantumCircuit(1)
+        circuit.s(0).s(0)
+        fused = fuse_single_qubit_gates(circuit)
+        assert len(fused) == 1
+
+    def test_fusion_preserves_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).sdg(0).cx(0, 1).s(1).rz(0.7, 1).h(1).cx(1, 0).t(0)
+        fused = fuse_single_qubit_gates(circuit)
+        a, b = circuit_unitary(circuit), circuit_unitary(fused)
+        assert abs(np.trace(a.conj().T @ b)) / 4 == pytest.approx(1.0, abs=1e-9)
+
+    def test_two_qubit_gates_flush_pending(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        fused = fuse_single_qubit_gates(circuit)
+        assert [g.name for g in fused] == ["u3", "cx"]
+
+    def test_drop_identities(self):
+        circuit = QuantumCircuit(1)
+        circuit.i(0).x(0).i(0)
+        assert [g.name for g in drop_identities(circuit)] == ["x"]

@@ -1,0 +1,63 @@
+"""Tests for the packaged optimisation pipelines and pass manager."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulation.unitary import circuit_unitary
+from repro.synthesis.pauli_exp import synthesize_terms
+from repro.transforms.optimize import optimize_circuit
+from repro.transforms.pass_manager import CircuitPass, PassManager
+
+
+class TestOptimizePipelines:
+    def test_level_zero_is_identity(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(0, 1)
+        assert optimize_circuit(circuit, level=0) is circuit
+
+    def test_levels_reduce_gate_count(self, tiny_program):
+        circuit = synthesize_terms(tiny_program)
+        o2 = optimize_circuit(circuit, level=2)
+        o3 = optimize_circuit(circuit, level=3)
+        assert len(o2) <= len(circuit)
+        assert o3.count_2q() <= o2.count_2q()
+
+    def test_optimization_preserves_unitary(self, tiny_program):
+        circuit = synthesize_terms(tiny_program)
+        reference = circuit_unitary(circuit)
+        for level in (2, 3):
+            optimized = circuit_unitary(optimize_circuit(circuit, level=level))
+            overlap = abs(np.trace(reference.conj().T @ optimized)) / reference.shape[0]
+            assert overlap == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPassManager:
+    def test_runs_passes_in_order(self):
+        trace = []
+
+        def make(name):
+            def transform(circuit):
+                trace.append(name)
+                return circuit
+            return CircuitPass(name, transform)
+
+        manager = PassManager([make("a"), make("b")], iterate=False)
+        manager.run(QuantumCircuit(1))
+        assert trace == ["a", "b"]
+
+    def test_iteration_stops_at_fixpoint(self):
+        calls = []
+
+        def drop_one(circuit):
+            calls.append(1)
+            if len(circuit) == 0:
+                return circuit
+            return QuantumCircuit(circuit.num_qubits, list(circuit)[:-1])
+
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0).h(0)
+        manager = PassManager([CircuitPass("drop", drop_one)], max_iterations=10)
+        result = manager.run(circuit)
+        assert len(result) == 0
+        assert len(calls) <= 5
