@@ -246,6 +246,19 @@ class QuantumCircuit:
 
         return circuit_to_qasm(self)
 
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise to the JSON wire format of :mod:`repro.serialize`."""
+        from repro.serialize.circuits import circuit_to_json
+
+        return circuit_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuantumCircuit":
+        """Rebuild a circuit serialised with :meth:`to_json`."""
+        from repro.serialize.circuits import circuit_from_json
+
+        return circuit_from_json(text)
+
     def __repr__(self) -> str:
         return (
             f"QuantumCircuit(num_qubits={self.num_qubits}, gates={len(self)}, "

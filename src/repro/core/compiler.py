@@ -9,8 +9,10 @@ actually implements (for equivalence checking and error analysis).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.emission import groups_to_circuit
@@ -70,7 +72,15 @@ class PhoenixCompiler:
         0 = raw emission, 2 = inverse cancellation + rotation merging
         (the PHOENIX default), 3 = additionally commutation cancellation and
         1Q fusion (the paper's "+ Qiskit O3" configuration).
+    cache:
+        Optional cache store with ``get(key) -> dict | None`` and
+        ``put(key, dict)`` (see :mod:`repro.service.cache`).  When set,
+        :meth:`compile` looks results up under the content-addressed key
+        combining the program fingerprint with :meth:`config_fingerprint`
+        and stores misses after compiling.
     """
+
+    name = "phoenix"
 
     def __init__(
         self,
@@ -79,6 +89,7 @@ class PhoenixCompiler:
         lookahead: int = 10,
         optimization_level: int = 2,
         seed: int = 0,
+        cache=None,
     ):
         if isa not in ("cnot", "su4"):
             raise ValueError(f"unsupported ISA {isa!r}; expected 'cnot' or 'su4'")
@@ -87,6 +98,24 @@ class PhoenixCompiler:
         self.lookahead = int(lookahead)
         self.optimization_level = int(optimization_level)
         self.seed = int(seed)
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def config_dict(self) -> Dict[str, Any]:
+        """The complete compile-affecting configuration as plain data."""
+        return {
+            "compiler": self.name,
+            "isa": self.isa,
+            "lookahead": self.lookahead,
+            "optimization_level": self.optimization_level,
+            "seed": self.seed,
+            "topology": self.topology.fingerprint() if self.topology is not None else None,
+        }
+
+    def config_fingerprint(self) -> str:
+        """Stable digest of :meth:`config_dict`, used as a cache-key part."""
+        payload = json.dumps(self.config_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     def _as_terms(self, program: Program) -> List[PauliTerm]:
@@ -102,8 +131,28 @@ class PhoenixCompiler:
 
     # ------------------------------------------------------------------
     def compile(self, program: Program) -> CompilationResult:
-        """Run the full PHOENIX pipeline on a program."""
+        """Run the full PHOENIX pipeline on a program.
+
+        With :attr:`cache` set, a content-addressed lookup runs first and a
+        fresh compilation is stored back on a miss; cached results carry
+        ``groups=[]`` (see :mod:`repro.serialize.results`).
+        """
         terms = self._as_terms(program)
+        if self.cache is not None:
+            # Imported lazily: repro.serialize depends on this module.
+            from repro.serialize.results import result_from_dict, result_to_dict
+            from repro.service.cache import compilation_cache_key
+
+            key = compilation_cache_key(terms, self.config_fingerprint())
+            cached = self.cache.get(key)
+            if cached is not None:
+                return result_from_dict(cached)
+            result = self._compile_terms(terms)
+            self.cache.put(key, result_to_dict(result))
+            return result
+        return self._compile_terms(terms)
+
+    def _compile_terms(self, terms: List[PauliTerm]) -> CompilationResult:
         num_qubits = terms[0].num_qubits
 
         groups = group_terms(terms)

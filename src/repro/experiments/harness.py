@@ -50,19 +50,48 @@ def default_compilers(include_naive: bool = False) -> List[CompilerSpec]:
     return specs
 
 
+def _service_options(
+    spec: CompilerSpec, isa: str, topology: Optional[Topology], optimization_level: int
+):
+    """The plain-data job spec equivalent to ``spec.build(...)``, or ``None``
+    when the combination cannot be shipped through the service (a custom
+    factory or an unregistered topology)."""
+    from repro.service.registry import COMPILERS, CompilerOptions, topology_to_spec
+
+    if COMPILERS.get(spec.name) is not spec.factory:
+        return None
+    try:
+        topology_spec = topology_to_spec(topology)
+    except ValueError:
+        return None
+    return CompilerOptions(
+        compiler=spec.name,
+        isa=isa,
+        topology=topology_spec,
+        optimization_level=optimization_level,
+    )
+
+
 def run_benchmark(
     terms: Sequence[PauliTerm],
     compilers: Sequence[CompilerSpec],
     isa: str = "cnot",
     topology: Optional[Topology] = None,
     optimization_level: int = 2,
+    service=None,
+    workers: Optional[int] = None,
 ) -> Dict[str, CompilationResult]:
-    """Compile one program with every compiler in the line-up."""
-    results: Dict[str, CompilationResult] = {}
-    for spec in compilers:
-        compiler = spec.build(isa, topology, optimization_level)
-        results[spec.name] = compiler.compile(list(terms))
-    return results
+    """Compile one program with every compiler in the line-up.
+
+    With a :class:`repro.service.CompilationService` passed as ``service``,
+    compilations are routed through its content-addressed cache (so suite
+    reruns are cache hits) and ``workers`` processes.
+    """
+    results = run_suite(
+        {"program": terms}, compilers, isa, topology, optimization_level,
+        service=service, workers=workers,
+    )
+    return results["program"]
 
 
 def run_suite(
@@ -71,12 +100,55 @@ def run_suite(
     isa: str = "cnot",
     topology: Optional[Topology] = None,
     optimization_level: int = 2,
+    service=None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, CompilationResult]]:
-    """Compile every program in ``programs`` with every compiler."""
-    return {
-        name: run_benchmark(terms, compilers, isa, topology, optimization_level)
-        for name, terms in programs.items()
+    """Compile every program in ``programs`` with every compiler.
+
+    Without a ``service`` every (program, compiler) pair compiles inline.
+    With one, all pairs expressible as plain-data jobs go through
+    ``service.compile_many`` — batched into a single call so cache lookups
+    happen up front and misses share the worker pool — and the rest fall
+    back to inline compilation.  A job that fails inside the service
+    raises ``RuntimeError`` with the captured worker traceback.
+    """
+    suite: Dict[str, Dict[str, CompilationResult]] = {
+        name: {} for name in programs
     }
+    spec_options = {
+        spec.name: (
+            _service_options(spec, isa, topology, optimization_level)
+            if service is not None
+            else None
+        )
+        for spec in compilers
+    }
+    jobs = []
+    job_slots = []
+    for bench_name, terms in programs.items():
+        for spec in compilers:
+            options = spec_options[spec.name]
+            if options is None:
+                compiler = spec.build(isa, topology, optimization_level)
+                suite[bench_name][spec.name] = compiler.compile(list(terms))
+            else:
+                from repro.service.service import CompilationJob
+
+                jobs.append(
+                    CompilationJob(f"{bench_name}/{spec.name}", list(terms), options)
+                )
+                job_slots.append((bench_name, spec.name))
+
+    if jobs:
+        job_results = service.compile_many(jobs, workers=workers)
+        for (bench_name, compiler_name), job_result in zip(job_slots, job_results):
+            if not job_result.ok:
+                raise RuntimeError(
+                    f"service compilation of {bench_name}/{compiler_name} failed:\n"
+                    f"{job_result.error}"
+                )
+            suite[bench_name][compiler_name] = job_result.result
+    return suite
 
 
 def geometric_mean_rates(

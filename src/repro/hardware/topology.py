@@ -8,10 +8,19 @@ line and grid topologies for tests and examples.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
+
+#: Shared all-pairs-distance cache, keyed by topology content fingerprint so
+#: that equal topologies built independently (e.g. one heavy-hex lattice per
+#: benchmark run) share a single computation.  Keying by *content* rather
+#: than identity makes the cache invalidation-safe: mutating a topology's
+#: graph changes its fingerprint, so stale matrices can never be returned.
+_DISTANCE_CACHE: Dict[str, np.ndarray] = {}
+_DISTANCE_CACHE_MAX_ENTRIES = 64
 
 
 class Topology:
@@ -29,6 +38,7 @@ class Topology:
                 raise ValueError(f"edge ({a}, {b}) out of range for {self.num_qubits} qubits")
             self.graph.add_edge(int(a), int(b))
         self._distances: Optional[np.ndarray] = None
+        self._distances_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -116,17 +126,43 @@ class Topology:
     def degree(self, qubit: int) -> int:
         return self.graph.degree(qubit)
 
+    def fingerprint(self) -> str:
+        """Content digest of the coupling graph (qubit count + edge set)."""
+        hasher = hashlib.sha256()
+        hasher.update(b"repro-topology-v1")
+        hasher.update(self.num_qubits.to_bytes(8, "little"))
+        for a, b in sorted(self.edges()):
+            hasher.update(a.to_bytes(4, "little"))
+            hasher.update(b.to_bytes(4, "little"))
+        return hasher.hexdigest()
+
     def distance_matrix(self) -> np.ndarray:
-        """All-pairs shortest-path distances (hops); unreachable pairs are inf."""
-        if self._distances is None:
+        """All-pairs shortest-path distances (hops); unreachable pairs are inf.
+
+        Memoized across instances in a content-addressed cache: the key is
+        :meth:`fingerprint`, so mutations of :attr:`graph` are picked up on
+        the next call and equal topologies never recompute.  The returned
+        matrix is marked read-only because it may be shared.
+        """
+        key = self.fingerprint()
+        if self._distances_key == key and self._distances is not None:
+            return self._distances
+        cached = _DISTANCE_CACHE.get(key)
+        if cached is None:
             n = self.num_qubits
             dist = np.full((n, n), np.inf)
             lengths = dict(nx.all_pairs_shortest_path_length(self.graph))
             for a, targets in lengths.items():
                 for b, d in targets.items():
                     dist[a, b] = d
-            self._distances = dist
-        return self._distances
+            dist.setflags(write=False)
+            if len(_DISTANCE_CACHE) >= _DISTANCE_CACHE_MAX_ENTRIES:
+                _DISTANCE_CACHE.pop(next(iter(_DISTANCE_CACHE)))
+            _DISTANCE_CACHE[key] = dist
+            cached = dist
+        self._distances = cached
+        self._distances_key = key
+        return cached
 
     def distance(self, a: int, b: int) -> float:
         return float(self.distance_matrix()[a, b])

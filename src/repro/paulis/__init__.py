@@ -15,5 +15,6 @@ representation (IR) used throughout PHOENIX:
 from repro.paulis.pauli import PauliString, PauliTerm
 from repro.paulis.hamiltonian import Hamiltonian
 from repro.paulis.bsf import BSF
+from repro.paulis.fingerprint import program_fingerprint
 
-__all__ = ["PauliString", "PauliTerm", "Hamiltonian", "BSF"]
+__all__ = ["PauliString", "PauliTerm", "Hamiltonian", "BSF", "program_fingerprint"]

@@ -136,6 +136,15 @@ class Hamiltonian:
 
     __rmul__ = __mul__
 
+    def fingerprint(self, canonical: bool = True) -> str:
+        """Content-addressed digest of the weighted terms.
+
+        See :func:`repro.paulis.fingerprint.program_fingerprint`.
+        """
+        from repro.paulis.fingerprint import program_fingerprint
+
+        return program_fingerprint(self, canonical=canonical)
+
     def to_matrix(self) -> np.ndarray:
         """Dense matrix representation (only sensible for small registers)."""
         if self.num_qubits > 14:

@@ -1,0 +1,46 @@
+"""JSON serialization for circuits, metrics, and compilation results.
+
+The service layer (:mod:`repro.service`) persists compiled artefacts in a
+content-addressed cache and ships them between worker processes; this
+subpackage provides the stable, dependency-free JSON wire format it uses.
+Every ``*_to_dict`` function returns plain JSON-compatible data (dicts,
+lists, strings, numbers) and every ``*_from_dict`` reverses it exactly.
+"""
+
+from repro.serialize.circuits import (
+    SERIALIZATION_FORMAT,
+    circuit_from_dict,
+    circuit_from_json,
+    circuit_to_dict,
+    circuit_to_json,
+    gate_from_dict,
+    gate_to_dict,
+)
+from repro.serialize.results import (
+    metrics_from_dict,
+    metrics_to_dict,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+    terms_from_dict,
+    terms_to_dict,
+)
+
+__all__ = [
+    "SERIALIZATION_FORMAT",
+    "gate_to_dict",
+    "gate_from_dict",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "circuit_to_json",
+    "circuit_from_json",
+    "metrics_to_dict",
+    "metrics_from_dict",
+    "terms_to_dict",
+    "terms_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+]

@@ -1,0 +1,149 @@
+"""JSON wire format for metrics, Pauli programs, and compilation results.
+
+A serialized :class:`~repro.core.compiler.CompilationResult` carries the
+final and logical circuits, both metric snapshots, the implemented Trotter
+order, the routing payload (when hardware-aware compilation ran), and the
+routing-overhead multiple.  The ``groups`` field (the nested Clifford
+conjugation structure) is intentionally not serialized: it is an internal
+artefact of the PHOENIX pipeline that is only consumed in-process, and the
+implemented term order — which *is* serialized — suffices for equivalence
+checking.  Deserialized results therefore carry ``groups=[]``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.compiler import CompilationResult
+from repro.hardware.routing.sabre import RoutedCircuit
+from repro.hardware.topology import Topology
+from repro.metrics.circuit_metrics import CircuitMetrics
+from repro.paulis.pauli import PauliTerm
+from repro.serialize.circuits import (
+    SERIALIZATION_FORMAT,
+    _check_format,
+    circuit_from_dict,
+    circuit_to_dict,
+)
+
+
+def metrics_to_dict(metrics: CircuitMetrics) -> Dict[str, Any]:
+    """A metrics snapshot as a JSON-compatible dict."""
+    return {
+        "total_gates": metrics.total_gates,
+        "cx_count": metrics.cx_count,
+        "two_qubit_count": metrics.two_qubit_count,
+        "depth": metrics.depth,
+        "depth_2q": metrics.depth_2q,
+        "swap_count": metrics.swap_count,
+        "gate_counts": dict(metrics.gate_counts),
+    }
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> CircuitMetrics:
+    return CircuitMetrics(
+        total_gates=int(data["total_gates"]),
+        cx_count=int(data["cx_count"]),
+        two_qubit_count=int(data["two_qubit_count"]),
+        depth=int(data["depth"]),
+        depth_2q=int(data["depth_2q"]),
+        swap_count=int(data["swap_count"]),
+        gate_counts={k: int(v) for k, v in data.get("gate_counts", {}).items()},
+    )
+
+
+def terms_to_dict(terms: Sequence[PauliTerm]) -> Dict[str, Any]:
+    """An ordered Pauli-exponentiation list as labels + coefficients."""
+    return {
+        "num_qubits": terms[0].num_qubits if terms else 0,
+        "labels": [term.to_label() for term in terms],
+        "coefficients": [float(term.coefficient) for term in terms],
+    }
+
+
+def terms_from_dict(data: Dict[str, Any]) -> List[PauliTerm]:
+    return [
+        PauliTerm.from_label(label, coeff)
+        for label, coeff in zip(data["labels"], data["coefficients"])
+    ]
+
+
+def _topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    return {
+        "name": topology.name,
+        "num_qubits": topology.num_qubits,
+        "edges": [[a, b] for a, b in topology.edges()],
+    }
+
+
+def _topology_from_dict(data: Dict[str, Any]) -> Topology:
+    return Topology(
+        int(data["num_qubits"]),
+        [(int(a), int(b)) for a, b in data["edges"]],
+        name=data.get("name", "custom"),
+    )
+
+
+def _routed_to_dict(routed: RoutedCircuit) -> Dict[str, Any]:
+    return {
+        "circuit": circuit_to_dict(routed.circuit),
+        "initial_mapping": {str(k): v for k, v in routed.initial_mapping.items()},
+        "final_mapping": {str(k): v for k, v in routed.final_mapping.items()},
+        "swap_count": routed.swap_count,
+        "topology": _topology_to_dict(routed.topology),
+    }
+
+
+def _routed_from_dict(data: Dict[str, Any]) -> RoutedCircuit:
+    return RoutedCircuit(
+        circuit=circuit_from_dict(data["circuit"]),
+        initial_mapping={int(k): int(v) for k, v in data["initial_mapping"].items()},
+        final_mapping={int(k): int(v) for k, v in data["final_mapping"].items()},
+        swap_count=int(data["swap_count"]),
+        topology=_topology_from_dict(data["topology"]),
+    )
+
+
+def result_to_dict(result: CompilationResult) -> Dict[str, Any]:
+    """A compilation result as a JSON-compatible dict (``groups`` excluded)."""
+    payload: Dict[str, Any] = {
+        "format": SERIALIZATION_FORMAT,
+        "circuit": circuit_to_dict(result.circuit),
+        "logical_circuit": circuit_to_dict(result.logical_circuit),
+        "metrics": metrics_to_dict(result.metrics),
+        "logical_metrics": metrics_to_dict(result.logical_metrics),
+        "implemented_terms": terms_to_dict(result.implemented_terms),
+        "routing_overhead": result.routing_overhead,
+    }
+    if result.routed is not None:
+        payload["routed"] = _routed_to_dict(result.routed)
+    return payload
+
+
+def result_from_dict(data: Dict[str, Any]) -> CompilationResult:
+    """Rebuild a compilation result from :func:`result_to_dict` output."""
+    _check_format(data)
+    routed: Optional[RoutedCircuit] = None
+    if data.get("routed") is not None:
+        routed = _routed_from_dict(data["routed"])
+    overhead = data.get("routing_overhead")
+    return CompilationResult(
+        circuit=circuit_from_dict(data["circuit"]),
+        logical_circuit=circuit_from_dict(data["logical_circuit"]),
+        metrics=metrics_from_dict(data["metrics"]),
+        logical_metrics=metrics_from_dict(data["logical_metrics"]),
+        implemented_terms=terms_from_dict(data["implemented_terms"]),
+        groups=[],
+        routed=routed,
+        routing_overhead=float(overhead) if overhead is not None else None,
+    )
+
+
+def result_to_json(result: CompilationResult, indent: Optional[int] = None) -> str:
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_from_json(text: str) -> CompilationResult:
+    return result_from_dict(json.loads(text))

@@ -1,0 +1,34 @@
+"""Batch compilation service: caching, parallel workers, CLI.
+
+This subpackage is the serving layer over the compilers: a
+content-addressed compilation cache (:mod:`repro.service.cache`), a
+parallel batch compiler (:class:`CompilationService`), plain-data compiler
+specs that survive process boundaries (:mod:`repro.service.registry`), and
+the ``phoenix`` command line (:mod:`repro.service.cli`).
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    DiskCacheStore,
+    MemoryCacheStore,
+    TieredCache,
+    compilation_cache_key,
+    open_cache,
+)
+from repro.service.registry import CompilerOptions, compiler_names, resolve_topology
+from repro.service.service import CompilationJob, CompilationService, JobResult
+
+__all__ = [
+    "CacheStats",
+    "MemoryCacheStore",
+    "DiskCacheStore",
+    "TieredCache",
+    "compilation_cache_key",
+    "open_cache",
+    "CompilerOptions",
+    "compiler_names",
+    "resolve_topology",
+    "CompilationJob",
+    "CompilationService",
+    "JobResult",
+]

@@ -1,0 +1,257 @@
+"""Content-addressed stores for compiled artefacts.
+
+A cache *key* is ``"<program fingerprint>-<compiler config fingerprint>"``
+(see :func:`compilation_cache_key`); a cache *value* is the JSON-compatible
+dict produced by :func:`repro.serialize.results.result_to_dict`.  Three
+stores share the minimal ``get / put / delete / keys / clear`` interface:
+
+* :class:`MemoryCacheStore` — a thread-safe in-process dict.
+* :class:`DiskCacheStore` — one ``<key>.json`` file per entry, sharded into
+  256 two-hex-character subdirectories so that directories stay small under
+  production-scale entry counts.  Writes are atomic (temp file + rename) so
+  concurrent workers can share a cache directory.
+* :class:`TieredCache` — memory in front of disk; disk hits are promoted.
+
+All stores count hits and misses (:attr:`CacheStats`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
+
+from repro.paulis.fingerprint import ProgramLike, program_fingerprint
+
+
+def compilation_cache_key(
+    program: ProgramLike, config_fingerprint: str, canonical: bool = True
+) -> str:
+    """The content-addressed key of one (program, compiler config) pair.
+
+    ``canonical=False`` keys the exact term sequence instead of the
+    canonical BSF ordering; use it for compilers whose output contract
+    depends on the input Trotter order (e.g. the naive baseline).
+
+    Canonical keying deliberately trades exact metric reproducibility for
+    cache sharing: optimizing compilers choose their own Trotter ordering,
+    so any result under the key is a valid compilation of the program (and
+    records the order it implemented in ``implemented_terms``), but gate
+    counts may differ by a few gates from a fresh compile of a specific
+    input permutation.  Callers that need permutation-exact results should
+    pass ``canonical=False``.
+    """
+    return f"{program_fingerprint(program, canonical=canonical)}-{config_fingerprint}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one store."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MemoryCacheStore:
+    """In-process dict store; safe for concurrent readers/writers."""
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and key not in self._entries
+                and len(self._entries) >= self.max_entries
+            ):
+                # FIFO eviction keeps the store bounded; dict preserves
+                # insertion order so the oldest entry goes first.
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = value
+            self.stats.puts += 1
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._entries))
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+class DiskCacheStore:
+    """One JSON file per entry under ``root/<key[:2]>/<key>.json``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(value, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def delete(self, key: str) -> bool:
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def clear(self) -> int:
+        count = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+
+class TieredCache:
+    """Memory store in front of a disk store (read-through, write-through)."""
+
+    def __init__(self, memory: Optional[MemoryCacheStore] = None,
+                 disk: Optional[DiskCacheStore] = None):
+        self.memory = memory if memory is not None else MemoryCacheStore()
+        self.disk = disk
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        value = self.memory.get(key)
+        if value is None and self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.memory.put(key, value)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+        self.stats.puts += 1
+
+    def delete(self, key: str) -> bool:
+        deleted = self.memory.delete(key)
+        if self.disk is not None:
+            deleted = self.disk.delete(key) or deleted
+        return deleted
+
+    def keys(self) -> Iterator[str]:
+        seen = set(self.memory.keys())
+        yield from seen
+        if self.disk is not None:
+            for key in self.disk.keys():
+                if key not in seen:
+                    yield key
+
+    def clear(self) -> int:
+        count = self.memory.clear()
+        if self.disk is not None:
+            count = max(count, self.disk.clear())
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        if key in self.memory:
+            return True
+        return self.disk is not None and key in self.disk
+
+
+CacheStore = Union[MemoryCacheStore, DiskCacheStore, TieredCache]
+
+
+def open_cache(cache_dir: Optional[Union[str, Path]] = None) -> TieredCache:
+    """A tiered cache backed by ``cache_dir`` (memory-only when ``None``)."""
+    disk = DiskCacheStore(cache_dir) if cache_dir is not None else None
+    return TieredCache(disk=disk)

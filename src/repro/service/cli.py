@@ -1,0 +1,291 @@
+"""The ``phoenix`` command-line interface.
+
+Three subcommands expose the compilation service::
+
+    phoenix compile --benchmark LiH_frz_JW --format metrics
+    phoenix compile --input program.json --format qasm --output out.qasm
+    phoenix batch LiH_frz_JW NH_frz_BK --workers 4 --cache-dir .phoenix-cache
+    phoenix batch --manifest jobs.json --output results.json
+    phoenix cache info --cache-dir .phoenix-cache
+
+Programs are read either from the built-in Table-1 UCCSD benchmark
+catalogue (``--benchmark``) or from a JSON file in the serialization
+layer's term format: ``{"num_qubits": N, "labels": [...],
+"coefficients": [...]}``.  Run ``python -m repro.service.cli --help`` (or
+the installed ``phoenix`` entry point) for the full flag reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serialize.results import result_to_dict, terms_from_dict
+from repro.service.cache import DiskCacheStore, open_cache
+from repro.service.registry import CompilerOptions, compiler_names
+from repro.service.service import CompilationJob, CompilationService, JobResult
+
+
+def _load_program(args: argparse.Namespace) -> List:
+    if getattr(args, "benchmark", None):
+        from repro.chemistry.molecules import benchmark_program
+
+        return benchmark_program(args.benchmark)
+    if getattr(args, "input", None):
+        data = json.loads(Path(args.input).read_text(encoding="utf-8"))
+        return terms_from_dict(data)
+    raise SystemExit("error: provide --benchmark NAME or --input FILE")
+
+
+def _options_from_args(args: argparse.Namespace) -> CompilerOptions:
+    return CompilerOptions(
+        compiler=args.compiler,
+        isa=args.isa,
+        topology=args.topology,
+        optimization_level=args.opt_level,
+        seed=args.seed,
+    )
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text, encoding="utf-8")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _job_summary(job_result: JobResult) -> Dict[str, Any]:
+    summary: Dict[str, Any] = {
+        "name": job_result.name,
+        "status": job_result.status,
+        "cached": job_result.cached,
+        "deduplicated": job_result.deduplicated,
+        "elapsed": job_result.elapsed,
+        "key": job_result.key,
+    }
+    if job_result.ok:
+        summary["metrics"] = result_to_dict(job_result.result)["metrics"]
+    else:
+        summary["error"] = job_result.error
+    return summary
+
+
+def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compiler", default="phoenix", choices=compiler_names(),
+        help="registered compiler to run (default: phoenix)",
+    )
+    parser.add_argument(
+        "--isa", default="cnot", choices=["cnot", "su4"],
+        help="target instruction set (default: cnot)",
+    )
+    parser.add_argument(
+        "--topology", default=None,
+        help="topology spec: all-to-all (default), heavy-hex, manhattan, "
+             "line-N, ring-N, or grid-RxC",
+    )
+    parser.add_argument(
+        "--opt-level", type=int, default=2,
+        help="peephole optimisation level 0-3 (default: 2)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory of the on-disk result cache (default: memory only)",
+    )
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    service = CompilationService(cache=open_cache(args.cache_dir))
+    name = args.benchmark or Path(args.input).stem
+    job_result = service.compile(program, _options_from_args(args), name=name)
+    if not job_result.ok:
+        sys.stderr.write(f"compilation of {name!r} failed:\n{job_result.error}")
+        return 1
+
+    result = job_result.result
+    if args.format == "qasm":
+        _emit(result.circuit.to_qasm(), args.output)
+    elif args.format == "json":
+        _emit(json.dumps(result_to_dict(result), indent=2) + "\n", args.output)
+    else:  # metrics
+        lines = [f"benchmark: {name}", f"cached: {job_result.cached}"]
+        lines += [f"{k}: {v}" for k, v in result.metrics.as_dict().items()]
+        if result.routing_overhead is not None:
+            lines.append(f"routing_overhead: {result.routing_overhead:.3f}")
+        _emit("\n".join(lines) + "\n", args.output)
+    return 0
+
+
+def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[CompilationJob]:
+    """Manifest format: a JSON list of ``{"name", "benchmark" | "program",
+    ...compiler-option overrides}`` entries."""
+    from repro.chemistry.molecules import benchmark_program
+
+    entries = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(entries, list):
+        raise SystemExit("error: manifest must be a JSON list of job entries")
+    jobs = []
+    for position, entry in enumerate(entries):
+        if "benchmark" in entry:
+            program = benchmark_program(entry["benchmark"])
+        elif "program" in entry:
+            program = terms_from_dict(entry["program"])
+        else:
+            raise SystemExit(
+                f"error: manifest entry {position} needs 'benchmark' or 'program'"
+            )
+        name = entry.get("name", entry.get("benchmark", f"job-{position}"))
+        merged = dict(defaults.as_dict())
+        merged.update(
+            {k: entry[k] for k in
+             ("compiler", "isa", "topology", "optimization_level", "seed")
+             if k in entry}
+        )
+        jobs.append(CompilationJob(name, program, CompilerOptions.from_dict(merged)))
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.chemistry.molecules import benchmark_program
+
+    defaults = _options_from_args(args)
+    if args.manifest:
+        jobs = _jobs_from_manifest(args.manifest, defaults)
+    elif args.benchmarks:
+        jobs = [
+            CompilationJob(name, benchmark_program(name), defaults)
+            for name in args.benchmarks
+        ]
+    else:
+        raise SystemExit("error: provide benchmark names or --manifest FILE")
+
+    service = CompilationService(cache=open_cache(args.cache_dir))
+    job_results = service.compile_many(jobs, workers=args.workers)
+    summaries = [_job_summary(job_result) for job_result in job_results]
+
+    if args.format == "json":
+        _emit(json.dumps(summaries, indent=2) + "\n", args.output)
+    else:
+        from repro.experiments.harness import format_table
+
+        rows = []
+        for summary in summaries:
+            metrics = summary.get("metrics", {})
+            rows.append([
+                summary["name"],
+                summary["status"],
+                "hit" if summary["cached"]
+                else "dedup" if summary["deduplicated"] else "miss",
+                metrics.get("cx_count", "-"),
+                metrics.get("depth_2q", "-"),
+                f"{summary['elapsed']:.2f}s",
+            ])
+        table = format_table(
+            rows, headers=["job", "status", "cache", "#CNOT", "Depth-2Q", "time"]
+        )
+        _emit(table + "\n", args.output)
+
+    failed = sum(1 for summary in summaries if summary["status"] != "ok")
+    if failed:
+        sys.stderr.write(f"{failed} of {len(summaries)} jobs failed\n")
+    return 1 if failed else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    # Inspection must not create state: a typo'd --cache-dir should fail,
+    # not report a fresh empty cache.
+    if not Path(args.cache_dir).is_dir():
+        sys.stderr.write(f"error: no cache directory at {args.cache_dir!r}\n")
+        return 2
+    store = DiskCacheStore(args.cache_dir)
+    if args.action == "info":
+        keys = list(store.keys())
+        total_bytes = sum(
+            path.stat().st_size for path in Path(args.cache_dir).glob("*/*.json")
+        )
+        print(f"cache: {args.cache_dir}")
+        print(f"entries: {len(keys)}")
+        print(f"size_bytes: {total_bytes}")
+    elif args.action == "ls":
+        for key in store.keys():
+            print(key)
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phoenix",
+        description="PHOENIX compilation service: compile, batch-compile, "
+                    "and manage the content-addressed result cache.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile one program and emit QASM/JSON/metrics"
+    )
+    compile_parser.add_argument(
+        "--benchmark", default=None,
+        help="built-in Table-1 benchmark name, e.g. LiH_frz_JW",
+    )
+    compile_parser.add_argument(
+        "--input", default=None, help="JSON program file (term format)"
+    )
+    _add_compiler_flags(compile_parser)
+    compile_parser.add_argument(
+        "--format", default="metrics", choices=["metrics", "qasm", "json"],
+        help="output format (default: metrics)",
+    )
+    compile_parser.add_argument("--output", default=None, help="output file (default: stdout)")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="compile many programs with parallel workers"
+    )
+    batch_parser.add_argument(
+        "benchmarks", nargs="*", help="built-in benchmark names to compile"
+    )
+    batch_parser.add_argument("--manifest", default=None, help="JSON job manifest file")
+    _add_compiler_flags(batch_parser)
+    batch_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(#jobs, cpu_count); 1 = inline)",
+    )
+    batch_parser.add_argument(
+        "--format", default="table", choices=["table", "json"],
+        help="output format (default: table)",
+    )
+    batch_parser.add_argument("--output", default=None, help="output file (default: stdout)")
+    batch_parser.set_defaults(func=_cmd_batch)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear an on-disk result cache"
+    )
+    cache_parser.add_argument("action", choices=["info", "ls", "clear"])
+    cache_parser.add_argument("--cache-dir", required=True, help="cache directory")
+    cache_parser.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        # User errors (unknown benchmark/topology, unreadable or malformed
+        # input files) become clean one-line failures; compilation errors
+        # inside jobs are already captured per job by the service.
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Named compiler and topology specs for the compilation service.
+
+Batch jobs cross process boundaries, so a job cannot carry a live compiler
+object; instead it carries a :class:`CompilerOptions` — plain data naming a
+registered compiler, a registered topology, and scalar options — that each
+worker resolves locally with :func:`build_compiler`.  The same specs back
+the ``phoenix`` CLI's ``--compiler`` / ``--topology`` flags.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.baselines import (
+    NaiveCompiler,
+    PaulihedralCompiler,
+    TetrisCompiler,
+    TketLikeCompiler,
+)
+from repro.core.compiler import PhoenixCompiler
+from repro.hardware.topology import Topology
+
+#: name -> compiler factory accepting (isa, topology, optimization_level, seed).
+COMPILERS: Dict[str, Callable[..., object]] = {
+    "phoenix": PhoenixCompiler,
+    "naive": NaiveCompiler,
+    "paulihedral": PaulihedralCompiler,
+    "tetris": TetrisCompiler,
+    "tket": TketLikeCompiler,
+}
+
+
+#: Compilers whose output implements the *given* term order verbatim; their
+#: cache keys must use the order-sensitive program fingerprint.  Every other
+#: registered compiler chooses its own Trotter ordering (that reordering is
+#: the optimisation), so reordered inputs may share a cache entry.
+ORDER_SENSITIVE_COMPILERS = frozenset({"naive"})
+
+
+def compiler_names() -> list[str]:
+    return sorted(COMPILERS)
+
+
+def resolve_topology(spec: Optional[str]) -> Optional[Topology]:
+    """Build a topology from a textual spec.
+
+    Accepted specs: ``None`` / ``"all-to-all"`` (logical-level compilation),
+    ``"line-N"``, ``"ring-N"``, ``"grid-RxC"``, ``"heavy-hex"`` and its alias
+    ``"manhattan"`` (the paper's 64-qubit device).
+    """
+    if spec is None or spec == "all-to-all":
+        return None
+    if spec in ("heavy-hex", "manhattan"):
+        return Topology.ibm_manhattan()
+    match = re.fullmatch(r"(line|ring)-(\d+)", spec)
+    if match:
+        factory = Topology.line if match.group(1) == "line" else Topology.ring
+        return factory(int(match.group(2)))
+    match = re.fullmatch(r"grid-(\d+)x(\d+)", spec)
+    if match:
+        return Topology.grid(int(match.group(1)), int(match.group(2)))
+    raise ValueError(
+        f"unknown topology spec {spec!r}; expected 'all-to-all', 'heavy-hex', "
+        f"'manhattan', 'line-N', 'ring-N', or 'grid-RxC'"
+    )
+
+
+def topology_to_spec(topology: Optional[Topology]) -> Optional[str]:
+    """The spec string that rebuilds ``topology``, or ``None`` for all-to-all.
+
+    Raises ``ValueError`` for a topology no registered spec reproduces
+    (callers that cannot ship such a topology as plain data should fall
+    back to in-process compilation).
+    """
+    if topology is None or topology.is_all_to_all():
+        return None
+    candidates = [topology.name]
+    if topology.name.startswith("heavy-hex"):
+        candidates.append("heavy-hex")
+    for candidate in candidates:
+        try:
+            resolved = resolve_topology(candidate)
+        except ValueError:
+            continue
+        if resolved is not None and resolved.fingerprint() == topology.fingerprint():
+            return candidate
+    raise ValueError(f"topology {topology!r} matches no registered spec")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Plain-data description of one compiler configuration."""
+
+    compiler: str = "phoenix"
+    isa: str = "cnot"
+    topology: Optional[str] = None
+    optimization_level: int = 2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.compiler not in COMPILERS:
+            raise ValueError(
+                f"unknown compiler {self.compiler!r}; expected one of {compiler_names()}"
+            )
+        if self.isa not in ("cnot", "su4"):
+            raise ValueError(f"unsupported ISA {self.isa!r}; expected 'cnot' or 'su4'")
+        resolve_topology(self.topology)  # validate eagerly
+
+    @property
+    def order_sensitive(self) -> bool:
+        """Whether cache keys must preserve the input term order."""
+        return self.compiler in ORDER_SENSITIVE_COMPILERS
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompilerOptions":
+        return cls(
+            compiler=data.get("compiler", "phoenix"),
+            isa=data.get("isa", "cnot"),
+            topology=data.get("topology"),
+            optimization_level=int(data.get("optimization_level", 2)),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of the resolved configuration, as a cache-key part.
+
+        Delegates to the built compiler's own ``config_fingerprint`` when it
+        has one (PHOENIX includes pipeline knobs such as the look-ahead
+        window), and falls back to hashing this spec's fields otherwise.
+        """
+        compiler = self.build()
+        fingerprinter = getattr(compiler, "config_fingerprint", None)
+        if fingerprinter is not None:
+            return fingerprinter()
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def build(self):
+        """Instantiate the configured compiler."""
+        factory = COMPILERS[self.compiler]
+        return factory(
+            isa=self.isa,
+            topology=resolve_topology(self.topology),
+            optimization_level=self.optimization_level,
+            seed=self.seed,
+        )

@@ -1,0 +1,254 @@
+"""The batch compilation service.
+
+:class:`CompilationService` turns the single-shot compilers into a cached,
+parallel batch facility:
+
+* every job is keyed by the content-addressed pair (program fingerprint,
+  compiler-config fingerprint) and looked up in the cache before any work
+  is dispatched;
+* cache misses fan out across ``multiprocessing`` workers (jobs and results
+  cross the process boundary as the JSON payloads of
+  :mod:`repro.serialize`, so nothing depends on object identity);
+* results come back in the order the jobs were submitted, regardless of
+  which worker finished first; and
+* a job that raises inside a worker is captured as a failed
+  :class:`JobResult` with the traceback, without poisoning the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import multiprocessing
+
+from repro.core.compiler import CompilationResult
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliTerm
+from repro.serialize.results import result_from_dict, result_to_dict, terms_from_dict, terms_to_dict
+from repro.service.cache import CacheStore, MemoryCacheStore, compilation_cache_key
+from repro.service.registry import CompilerOptions
+
+
+@dataclass(frozen=True)
+class CompilationJob:
+    """One unit of batch work: a named program plus a compiler spec."""
+
+    name: str
+    program: Sequence[PauliTerm]
+    options: CompilerOptions = field(default_factory=CompilerOptions)
+
+    def terms(self) -> List[PauliTerm]:
+        if isinstance(self.program, Hamiltonian):
+            return self.program.to_terms()
+        return list(self.program)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a result or a captured error, plus provenance."""
+
+    name: str
+    status: str  # "ok" | "error"
+    result: Optional[CompilationResult] = None
+    error: Optional[str] = None
+    cached: bool = False
+    #: True when this job shared the compilation of an identical job earlier
+    #: in the same batch (neither a cache hit nor a fresh compile of its own).
+    deduplicated: bool = False
+    elapsed: float = 0.0
+    key: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile one serialized job; runs inline or inside a worker process."""
+    started = time.perf_counter()
+    try:
+        terms = terms_from_dict(payload["program"])
+        compiler = CompilerOptions.from_dict(payload["options"]).build()
+        result = compiler.compile(terms)
+        return {
+            "index": payload["index"],
+            "status": "ok",
+            "result": result_to_dict(result),
+            "elapsed": time.perf_counter() - started,
+        }
+    except Exception:
+        return {
+            "index": payload["index"],
+            "status": "error",
+            "error": traceback.format_exc(),
+            "elapsed": time.perf_counter() - started,
+        }
+
+
+def _default_workers(num_jobs: int) -> int:
+    return max(1, min(num_jobs, os.cpu_count() or 1))
+
+
+class CompilationService:
+    """Cached, parallel front end over the registered compilers."""
+
+    def __init__(self, cache: Optional[CacheStore] = None):
+        self.cache = cache if cache is not None else MemoryCacheStore()
+        self._options_fingerprints: Dict[CompilerOptions, str] = {}
+
+    # ------------------------------------------------------------------
+    def job_key(self, job: CompilationJob) -> str:
+        """The content-addressed cache key of one job."""
+        fingerprint = self._options_fingerprints.get(job.options)
+        if fingerprint is None:
+            fingerprint = job.options.fingerprint()
+            self._options_fingerprints[job.options] = fingerprint
+        return compilation_cache_key(
+            job.terms(), fingerprint, canonical=not job.options.order_sensitive
+        )
+
+    def compile(
+        self,
+        program: Sequence[PauliTerm],
+        options: Optional[CompilerOptions] = None,
+        name: str = "program",
+    ) -> JobResult:
+        """Compile a single program through the cache (inline, no workers)."""
+        job = CompilationJob(name, program, options or CompilerOptions())
+        return self.compile_many([job], workers=1)[0]
+
+    def compile_many(
+        self,
+        jobs: Sequence[CompilationJob],
+        workers: Optional[int] = None,
+    ) -> List[JobResult]:
+        """Compile a batch of jobs, returning results in submission order.
+
+        ``workers=None`` picks ``min(#misses, cpu_count)``; ``workers <= 1``
+        runs everything inline (deterministic and fork-free, useful in
+        tests and restricted environments).
+        """
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: List[Dict[str, Any]] = []
+        keys: List[str] = []
+        dispatched: Dict[str, int] = {}
+        duplicates: List[int] = []
+
+        for index, job in enumerate(jobs):
+            keys.append("")
+            try:
+                key = self.job_key(job)
+                cached = self.cache.get(key)
+            except Exception:
+                # A job that cannot even be fingerprinted (e.g. an empty
+                # program) fails alone, like any other per-job error.
+                results[index] = JobResult(
+                    name=job.name, status="error", error=traceback.format_exc()
+                )
+                continue
+            keys[index] = key
+            if cached is not None:
+                results[index] = JobResult(
+                    name=job.name,
+                    status="ok",
+                    result=result_from_dict(cached),
+                    cached=True,
+                    key=key,
+                )
+            elif key in dispatched:
+                # Identical content already in this batch: compile once and
+                # fan the result out afterwards.
+                duplicates.append(index)
+            else:
+                dispatched[key] = len(pending)
+                pending.append(
+                    {
+                        "index": index,
+                        "name": job.name,
+                        "program": terms_to_dict(job.terms()),
+                        "options": job.options.as_dict(),
+                    }
+                )
+
+        if pending:
+            worker_count = (
+                _default_workers(len(pending)) if workers is None else max(1, int(workers))
+            )
+            if worker_count == 1 or len(pending) == 1:
+                raw_results = [_execute_payload(payload) for payload in pending]
+            else:
+                raw_results = self._run_parallel(pending, worker_count)
+
+            for payload, raw in zip(pending, raw_results):
+                index = payload["index"]
+                job = jobs[index]
+                if raw["status"] == "ok":
+                    self.cache.put(keys[index], raw["result"])
+                    results[index] = JobResult(
+                        name=job.name,
+                        status="ok",
+                        result=result_from_dict(raw["result"]),
+                        cached=False,
+                        elapsed=raw["elapsed"],
+                        key=keys[index],
+                    )
+                else:
+                    results[index] = JobResult(
+                        name=job.name,
+                        status="error",
+                        error=raw["error"],
+                        cached=False,
+                        elapsed=raw["elapsed"],
+                        key=keys[index],
+                    )
+
+            for index in duplicates:
+                raw = raw_results[dispatched[keys[index]]]
+                if raw["status"] == "ok":
+                    results[index] = JobResult(
+                        name=jobs[index].name,
+                        status="ok",
+                        result=result_from_dict(raw["result"]),
+                        cached=False,
+                        deduplicated=True,
+                        key=keys[index],
+                    )
+                else:
+                    results[index] = JobResult(
+                        name=jobs[index].name,
+                        status="error",
+                        error=raw["error"],
+                        cached=False,
+                        elapsed=raw["elapsed"],
+                        key=keys[index],
+                    )
+
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_parallel(
+        pending: List[Dict[str, Any]], worker_count: int
+    ) -> List[Dict[str, Any]]:
+        """Fan payloads across processes; falls back to inline execution
+        when the platform cannot spawn workers (e.g. sandboxed CI)."""
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=worker_count, mp_context=context
+            ) as executor:
+                return list(executor.map(_execute_payload, pending))
+        except (OSError, PermissionError):  # pragma: no cover - restricted env
+            return [_execute_payload(payload) for payload in pending]
+
+    def cache_stats(self) -> Dict[str, Any]:
+        stats = getattr(self.cache, "stats", None)
+        return stats.as_dict() if stats is not None else {}

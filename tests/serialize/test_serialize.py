@@ -1,0 +1,126 @@
+"""JSON round-trip tests for circuits, metrics, programs, and results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import gate_matrix
+from repro.core.compiler import PhoenixCompiler
+from repro.hardware.topology import Topology
+from repro.metrics.circuit_metrics import circuit_metrics
+from repro.serialize import (
+    circuit_from_dict,
+    circuit_from_json,
+    circuit_to_dict,
+    circuit_to_json,
+    metrics_from_dict,
+    metrics_to_dict,
+    result_from_json,
+    result_to_json,
+    terms_from_dict,
+    terms_to_dict,
+)
+
+
+def gate_tuples(circuit: QuantumCircuit):
+    return [(g.name, g.qubits, g.params) for g in circuit]
+
+
+def every_family_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3)
+    circuit.h(0).x(1).sdg(2)
+    circuit.rx(0.25, 0).u3(0.1, -0.2, 0.3, 1)
+    circuit.cx(0, 1).cz(1, 2).swap(0, 2)
+    circuit.controlled_pauli("xy", 0, 2).rpp("y", "z", -0.75, 1, 2)
+    circuit.rxx(0.5, 0, 1).rzz(1.25, 1, 2)
+    circuit.su4(gate_matrix("rpp", (1.0, 3.0, 0.4)), 0, 1)
+    return circuit
+
+
+class TestCircuitRoundTrip:
+    def test_every_gate_family_round_trips(self):
+        circuit = every_family_circuit()
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        assert rebuilt.num_qubits == circuit.num_qubits
+        assert gate_tuples(rebuilt) == gate_tuples(circuit)
+
+    def test_su4_matrix_is_bit_exact(self):
+        circuit = QuantumCircuit(2)
+        matrix = gate_matrix("rpp", (2.0, 1.0, 0.3))
+        circuit.su4(matrix, 0, 1)
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        assert np.array_equal(rebuilt[0].matrix_override, matrix)
+
+    def test_circuit_json_hooks(self):
+        circuit = every_family_circuit()
+        rebuilt = QuantumCircuit.from_json(circuit.to_json())
+        assert gate_tuples(rebuilt) == gate_tuples(circuit)
+
+    def test_payload_is_pure_json(self):
+        payload = circuit_to_dict(every_family_circuit())
+        # json.dumps with allow_nan=False rejects anything non-JSON.
+        json.dumps(payload, allow_nan=False)
+
+    def test_unknown_format_rejected(self):
+        payload = circuit_to_dict(QuantumCircuit(1))
+        payload["format"] = "repro-json-99"
+        with pytest.raises(ValueError, match="repro-json-99"):
+            circuit_from_dict(payload)
+
+
+class TestMetricsAndTerms:
+    def test_metrics_round_trip_is_equal(self):
+        circuit = every_family_circuit()
+        metrics = circuit_metrics(circuit)
+        rebuilt = metrics_from_dict(metrics_to_dict(metrics))
+        assert rebuilt == metrics
+        assert rebuilt.gate_counts == metrics.gate_counts
+
+    def test_terms_round_trip(self, tiny_program):
+        rebuilt = terms_from_dict(terms_to_dict(tiny_program))
+        assert [t.to_label() for t in rebuilt] == [t.to_label() for t in tiny_program]
+        assert [t.coefficient for t in rebuilt] == pytest.approx(
+            [t.coefficient for t in tiny_program]
+        )
+
+
+class TestResultRoundTrip:
+    def assert_result_round_trips(self, result):
+        rebuilt = result_from_json(result_to_json(result))
+        assert rebuilt.metrics == result.metrics
+        assert rebuilt.logical_metrics == result.logical_metrics
+        assert gate_tuples(rebuilt.circuit) == gate_tuples(result.circuit)
+        assert gate_tuples(rebuilt.logical_circuit) == gate_tuples(
+            result.logical_circuit
+        )
+        assert [t.to_label() for t in rebuilt.implemented_terms] == [
+            t.to_label() for t in result.implemented_terms
+        ]
+        assert rebuilt.routing_overhead == result.routing_overhead
+        return rebuilt
+
+    def test_logical_result(self, tiny_program):
+        result = PhoenixCompiler().compile(tiny_program)
+        rebuilt = self.assert_result_round_trips(result)
+        assert rebuilt.routed is None
+
+    def test_su4_isa_result(self, tiny_program):
+        result = PhoenixCompiler(isa="su4").compile(tiny_program)
+        rebuilt = self.assert_result_round_trips(result)
+        su4_gates = [g for g in rebuilt.circuit if g.name == "su4"]
+        assert su4_gates, "SU(4) ISA result should contain consolidated gates"
+        for original, copy in zip(result.circuit, rebuilt.circuit):
+            if original.name == "su4":
+                assert np.array_equal(copy.matrix_override, original.matrix_override)
+
+    def test_hardware_aware_result_keeps_routing_payload(self, small_program):
+        topology = Topology.grid(2, 3)
+        result = PhoenixCompiler(topology=topology).compile(small_program)
+        rebuilt = self.assert_result_round_trips(result)
+        assert rebuilt.routed is not None
+        assert rebuilt.routed.swap_count == result.routed.swap_count
+        assert rebuilt.routed.initial_mapping == result.routed.initial_mapping
+        assert rebuilt.routed.final_mapping == result.routed.final_mapping
+        assert rebuilt.routed.topology.fingerprint() == topology.fingerprint()

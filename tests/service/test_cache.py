@@ -1,0 +1,145 @@
+"""Tests for fingerprints and the content-addressed cache stores."""
+
+import pytest
+
+from repro.core.compiler import PhoenixCompiler
+from repro.hardware.topology import Topology
+from repro.paulis.fingerprint import program_fingerprint
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliTerm
+from repro.service.cache import (
+    DiskCacheStore,
+    MemoryCacheStore,
+    TieredCache,
+    compilation_cache_key,
+    open_cache,
+)
+from repro.service.registry import CompilerOptions
+
+
+class TestProgramFingerprint:
+    def test_order_invariant_by_default(self, tiny_program):
+        assert program_fingerprint(tiny_program) == program_fingerprint(
+            list(reversed(tiny_program))
+        )
+
+    def test_sequence_fingerprint_is_order_sensitive(self, tiny_program):
+        shuffled = list(reversed(tiny_program))
+        assert program_fingerprint(
+            tiny_program, canonical=False
+        ) != program_fingerprint(shuffled, canonical=False)
+
+    def test_coefficient_changes_the_digest(self):
+        base = [PauliTerm.from_label("XYZ", 0.5)]
+        changed = [PauliTerm.from_label("XYZ", 0.5 + 1e-9)]
+        assert program_fingerprint(base) != program_fingerprint(changed)
+
+    def test_register_width_changes_the_digest(self):
+        narrow = [PauliTerm.from_label("XY", 0.5)]
+        wide = [PauliTerm.from_label("XYI", 0.5)]
+        assert program_fingerprint(narrow) != program_fingerprint(wide)
+
+    def test_duplicates_keep_multiplicity(self):
+        once = [PauliTerm.from_label("ZZ", 0.1)]
+        twice = once + [PauliTerm.from_label("ZZ", 0.1)]
+        assert program_fingerprint(once) != program_fingerprint(twice)
+
+    def test_hamiltonian_matches_term_list(self, tiny_program):
+        ham = Hamiltonian.from_terms(tiny_program)
+        assert ham.fingerprint() == program_fingerprint(tiny_program)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            program_fingerprint([])
+
+
+class TestConfigFingerprint:
+    def test_differs_per_knob(self):
+        base = PhoenixCompiler()
+        assert base.config_fingerprint() == PhoenixCompiler().config_fingerprint()
+        for variant in (
+            PhoenixCompiler(isa="su4"),
+            PhoenixCompiler(optimization_level=3),
+            PhoenixCompiler(lookahead=5),
+            PhoenixCompiler(seed=1),
+            PhoenixCompiler(topology=Topology.line(4)),
+        ):
+            assert variant.config_fingerprint() != base.config_fingerprint()
+
+    def test_options_fingerprint_tracks_compiler(self):
+        # For PHOENIX the spec delegates to the compiler's own fingerprint.
+        options = CompilerOptions()
+        assert options.fingerprint() == PhoenixCompiler().config_fingerprint()
+        assert (
+            CompilerOptions(compiler="naive").fingerprint()
+            != CompilerOptions(compiler="tetris").fingerprint()
+        )
+
+    def test_cache_key_combines_both(self, tiny_program):
+        key = compilation_cache_key(tiny_program, "deadbeef")
+        assert key == f"{program_fingerprint(tiny_program)}-deadbeef"
+
+
+class TestStores:
+    PAYLOAD = {"format": "repro-json-1", "value": 42}
+
+    @pytest.fixture(params=["memory", "disk", "tiered"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            return MemoryCacheStore()
+        if request.param == "disk":
+            return DiskCacheStore(tmp_path / "cache")
+        return TieredCache(disk=DiskCacheStore(tmp_path / "cache"))
+
+    def test_get_put_delete_clear(self, store):
+        assert store.get("a" * 64) is None
+        store.put("a" * 64, self.PAYLOAD)
+        assert store.get("a" * 64) == self.PAYLOAD
+        assert "a" * 64 in store
+        assert list(store.keys()) == ["a" * 64]
+        assert len(store) == 1
+        assert store.delete("a" * 64)
+        assert not store.delete("a" * 64)
+        store.put("b" * 64, self.PAYLOAD)
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_stats(self, store):
+        store.get("missing-key")
+        store.put("some-key", self.PAYLOAD)
+        store.get("some-key")
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+        assert store.stats.hit_rate == pytest.approx(0.5)
+
+    def test_disk_store_survives_reopen(self, tmp_path):
+        root = tmp_path / "cache"
+        DiskCacheStore(root).put("k" * 64, self.PAYLOAD)
+        assert DiskCacheStore(root).get("k" * 64) == self.PAYLOAD
+
+    def test_disk_store_rejects_path_traversal(self, tmp_path):
+        store = DiskCacheStore(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            store.put("../escape", self.PAYLOAD)
+
+    def test_memory_store_eviction_is_fifo(self):
+        store = MemoryCacheStore(max_entries=2)
+        store.put("k1", self.PAYLOAD)
+        store.put("k2", self.PAYLOAD)
+        store.put("k3", self.PAYLOAD)
+        assert "k1" not in store
+        assert "k2" in store and "k3" in store
+
+    def test_tiered_promotes_disk_hits(self, tmp_path):
+        disk = DiskCacheStore(tmp_path / "cache")
+        disk.put("key", self.PAYLOAD)
+        tiered = TieredCache(disk=disk)
+        assert tiered.get("key") == self.PAYLOAD
+        assert "key" in tiered.memory
+
+    def test_open_cache_memory_only_and_disk(self, tmp_path):
+        assert open_cache(None).disk is None
+        cache = open_cache(tmp_path / "cache")
+        cache.put("key", self.PAYLOAD)
+        assert open_cache(tmp_path / "cache").get("key") == self.PAYLOAD

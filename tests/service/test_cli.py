@@ -1,0 +1,135 @@
+"""Tests for the ``phoenix`` CLI (run in-process through ``main``)."""
+
+import json
+
+import pytest
+
+from repro.serialize.results import terms_to_dict
+from repro.service.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path, tiny_program):
+    path = tmp_path / "program.json"
+    path.write_text(json.dumps(terms_to_dict(tiny_program)), encoding="utf-8")
+    return path
+
+
+class TestCompileCommand:
+    def test_metrics_output(self, capsys):
+        assert main(["compile", "--benchmark", "LiH_frz_JW"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark: LiH_frz_JW" in out
+        assert "cx_count:" in out
+
+    def test_qasm_output_from_input_file(self, program_file, tmp_path, capsys):
+        out_file = tmp_path / "out.qasm"
+        code = main([
+            "compile", "--input", str(program_file),
+            "--format", "qasm", "--output", str(out_file),
+        ])
+        assert code == 0
+        qasm = out_file.read_text(encoding="utf-8")
+        assert qasm.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in qasm
+
+    def test_json_output_round_trips(self, program_file, capsys):
+        assert main(["compile", "--input", str(program_file), "--format", "json"]) == 0
+        from repro.serialize.results import result_from_dict
+
+        payload = json.loads(capsys.readouterr().out)
+        result = result_from_dict(payload)
+        assert result.metrics.cx_count == payload["metrics"]["cx_count"]
+
+    def test_missing_program_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["compile"])
+
+    def test_user_errors_are_clean_one_liners(self, tmp_path, capsys):
+        assert main(["compile", "--benchmark", "LiH_frz_XX"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+        assert main(["compile", "--benchmark", "LiH_frz_JW", "--topology", "torus-4"]) == 2
+        assert "unknown topology spec" in capsys.readouterr().err
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["compile", "--input", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_table_and_cache_reuse(self, program_file, tmp_path, capsys):
+        manifest = tmp_path / "jobs.json"
+        program = json.loads(program_file.read_text(encoding="utf-8"))
+        manifest.write_text(
+            json.dumps([
+                {"name": "tiny-phoenix", "program": program},
+                {"name": "tiny-naive", "program": program, "compiler": "naive"},
+            ]),
+            encoding="utf-8",
+        )
+        cache_dir = tmp_path / "cache"
+        code = main([
+            "batch", "--manifest", str(manifest),
+            "--cache-dir", str(cache_dir), "--workers", "1",
+        ])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "tiny-phoenix" in table and "tiny-naive" in table
+        assert "miss" in table
+
+        code = main([
+            "batch", "--manifest", str(manifest),
+            "--cache-dir", str(cache_dir), "--workers", "1", "--format", "json",
+        ])
+        assert code == 0
+        summaries = json.loads(capsys.readouterr().out)
+        assert all(summary["cached"] for summary in summaries)
+        assert {summary["status"] for summary in summaries} == {"ok"}
+
+    def test_failed_job_sets_exit_code(self, tmp_path, capsys):
+        manifest = tmp_path / "jobs.json"
+        five_qubits = {
+            "num_qubits": 5, "labels": ["XXXXX"], "coefficients": [0.1],
+        }
+        manifest.write_text(
+            json.dumps([
+                {"name": "boom", "program": five_qubits, "topology": "line-4"},
+            ]),
+            encoding="utf-8",
+        )
+        code = main(["batch", "--manifest", str(manifest), "--workers", "1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "1 of 1 jobs failed" in captured.err
+
+    def test_no_jobs_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["batch"])
+
+
+class TestCacheCommand:
+    def test_info_ls_clear(self, program_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        main([
+            "compile", "--input", str(program_file), "--cache-dir", str(cache_dir),
+        ])
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        info = capsys.readouterr().out
+        assert "entries: 1" in info
+
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        keys = capsys.readouterr().out.split()
+        assert len(keys) == 1 and "-" in keys[0]
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_nonexistent_cache_dir_is_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-cache"
+        assert main(["cache", "info", "--cache-dir", str(missing)]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+        assert not missing.exists()  # inspection must not create state

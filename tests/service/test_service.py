@@ -1,0 +1,206 @@
+"""Tests for the batch compilation service."""
+
+import pytest
+
+from repro.core.compiler import PhoenixCompiler
+from repro.experiments.harness import default_compilers, run_suite
+from repro.paulis.pauli import PauliTerm
+from repro.service.cache import MemoryCacheStore, open_cache
+from repro.service.registry import (
+    CompilerOptions,
+    compiler_names,
+    resolve_topology,
+    topology_to_spec,
+)
+from repro.service.service import CompilationJob, CompilationService
+
+
+def gate_tuples(circuit):
+    return [(g.name, g.qubits, g.params) for g in circuit]
+
+
+class TestRegistry:
+    def test_compiler_names(self):
+        assert set(compiler_names()) >= {"phoenix", "naive", "paulihedral", "tetris", "tket"}
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(ValueError, match="unknown compiler"):
+            CompilerOptions(compiler="qiskit")
+
+    def test_topology_specs(self):
+        assert resolve_topology(None) is None
+        assert resolve_topology("all-to-all") is None
+        assert resolve_topology("line-5").num_qubits == 5
+        assert resolve_topology("ring-6").num_qubits == 6
+        assert resolve_topology("grid-2x3").num_qubits == 6
+        assert resolve_topology("manhattan").fingerprint() == resolve_topology(
+            "heavy-hex"
+        ).fingerprint()
+        with pytest.raises(ValueError, match="unknown topology"):
+            resolve_topology("torus-4")
+
+    def test_topology_round_trip_through_spec(self):
+        from repro.hardware.topology import Topology
+
+        for topo in (Topology.line(4), Topology.grid(2, 3), Topology.ibm_manhattan()):
+            spec = topology_to_spec(topo)
+            assert resolve_topology(spec).fingerprint() == topo.fingerprint()
+        assert topology_to_spec(None) is None
+        assert topology_to_spec(Topology.all_to_all(4)) is None
+        with pytest.raises(ValueError):
+            topology_to_spec(Topology(3, [(0, 1)], name="weird"))
+
+    def test_build_matches_direct_construction(self, tiny_program):
+        built = CompilerOptions(optimization_level=3).build()
+        direct = PhoenixCompiler(optimization_level=3)
+        assert gate_tuples(built.compile(tiny_program).circuit) == gate_tuples(
+            direct.compile(tiny_program).circuit
+        )
+
+
+class TestCompilationService:
+    def test_results_in_submission_order(self, tiny_program, qaoa_line_program):
+        service = CompilationService()
+        jobs = [
+            CompilationJob("qaoa", qaoa_line_program),
+            CompilationJob("tiny", tiny_program),
+            CompilationJob("tiny-naive", tiny_program, CompilerOptions(compiler="naive")),
+        ]
+        results = service.compile_many(jobs, workers=1)
+        assert [r.name for r in results] == ["qaoa", "tiny", "tiny-naive"]
+        assert all(r.ok and not r.cached for r in results)
+
+    def test_cache_hits_on_rerun_and_matches_direct(self, tiny_program):
+        service = CompilationService()
+        cold = service.compile(tiny_program)
+        warm = service.compile(tiny_program)
+        assert not cold.cached and warm.cached
+        assert warm.result.metrics == cold.result.metrics
+        assert gate_tuples(warm.result.circuit) == gate_tuples(cold.result.circuit)
+        direct = PhoenixCompiler().compile(tiny_program)
+        assert gate_tuples(cold.result.circuit) == gate_tuples(direct.circuit)
+
+    def test_reordered_program_hits_same_entry(self, tiny_program):
+        service = CompilationService()
+        service.compile(tiny_program)
+        rerun = service.compile(list(reversed(tiny_program)), name="reordered")
+        assert rerun.cached
+
+    def test_order_sensitive_compiler_misses_on_reorder(self, tiny_program):
+        # The naive baseline implements the given Trotter order verbatim,
+        # so a reordered program must NOT be served the cached circuit.
+        service = CompilationService()
+        naive = CompilerOptions(compiler="naive")
+        first = service.compile(tiny_program, naive)
+        rerun = service.compile(list(reversed(tiny_program)), naive, name="reordered")
+        assert not rerun.cached
+        assert [t.to_label() for t in rerun.result.implemented_terms] == [
+            t.to_label() for t in reversed(tiny_program)
+        ]
+        again = service.compile(tiny_program, naive)
+        assert again.cached and first.ok
+
+    def test_unfingerprintable_job_fails_alone(self, tiny_program):
+        service = CompilationService()
+        jobs = [
+            CompilationJob("empty", []),
+            CompilationJob("good", tiny_program),
+        ]
+        results = service.compile_many(jobs, workers=1)
+        assert [r.status for r in results] == ["error", "ok"]
+        assert "cannot fingerprint an empty program" in results[0].error
+
+    def test_within_batch_deduplication(self, tiny_program):
+        service = CompilationService()
+        jobs = [
+            CompilationJob("first", tiny_program),
+            CompilationJob("dup", list(reversed(tiny_program))),
+        ]
+        results = service.compile_many(jobs, workers=1)
+        assert not results[0].cached and not results[0].deduplicated
+        assert results[1].deduplicated and not results[1].cached
+        assert service.cache.stats.puts == 1
+
+    def test_error_capture_does_not_poison_batch(self, tiny_program):
+        # 5-qubit program on a 4-qubit line topology: routing must fail.
+        bad_program = [PauliTerm.from_label("XXXXX", 0.1)]
+        service = CompilationService()
+        jobs = [
+            CompilationJob("good", tiny_program),
+            CompilationJob("bad", bad_program, CompilerOptions(topology="line-4")),
+            CompilationJob("also-good", tiny_program, CompilerOptions(seed=1)),
+        ]
+        results = service.compile_many(jobs, workers=1)
+        assert [r.status for r in results] == ["ok", "error", "ok"]
+        assert "Traceback" in results[1].error
+        assert results[1].result is None
+        # Errors are not cached: a retry re-executes.
+        retry = service.compile_many([jobs[1]], workers=1)
+        assert retry[0].status == "error" and not retry[0].cached
+
+    def test_parallel_workers_match_serial(self, tiny_program, qaoa_line_program):
+        jobs = [
+            CompilationJob("tiny", tiny_program),
+            CompilationJob("qaoa", qaoa_line_program),
+            CompilationJob("tiny-o3", tiny_program, CompilerOptions(optimization_level=3)),
+            CompilationJob("qaoa-naive", qaoa_line_program, CompilerOptions(compiler="naive")),
+        ]
+        serial = CompilationService().compile_many(jobs, workers=1)
+        parallel = CompilationService().compile_many(jobs, workers=2)
+        assert [r.name for r in parallel] == [r.name for r in serial]
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert parallel_result.ok
+            assert parallel_result.result.metrics == serial_result.result.metrics
+            assert gate_tuples(parallel_result.result.circuit) == gate_tuples(
+                serial_result.result.circuit
+            )
+
+    def test_disk_cache_shared_across_services(self, tiny_program, tmp_path):
+        first = CompilationService(cache=open_cache(tmp_path / "cache"))
+        first.compile(tiny_program)
+        second = CompilationService(cache=open_cache(tmp_path / "cache"))
+        assert second.compile(tiny_program).cached
+
+    def test_compiler_cache_hook_uses_same_keys(self, tiny_program):
+        # PhoenixCompiler(cache=...) and the service address the same store.
+        store = MemoryCacheStore()
+        PhoenixCompiler(cache=store).compile(tiny_program)
+        service = CompilationService(cache=store)
+        assert service.compile(tiny_program).cached
+
+
+class TestHarnessThroughService:
+    def test_suite_results_match_inline(self, tiny_program):
+        compilers = default_compilers()
+        inline = run_suite({"tiny": tiny_program}, compilers)
+        service = CompilationService()
+        routed = run_suite({"tiny": tiny_program}, compilers, service=service, workers=1)
+        for name in inline["tiny"]:
+            assert routed["tiny"][name].metrics == inline["tiny"][name].metrics
+
+    def test_suite_rerun_is_all_cache_hits(self, tiny_program, qaoa_line_program):
+        service = CompilationService()
+        programs = {"tiny": tiny_program, "qaoa": qaoa_line_program}
+        run_suite(programs, default_compilers(), service=service, workers=1)
+        puts_before = service.cache.stats.puts
+        run_suite(programs, default_compilers(), service=service, workers=1)
+        assert service.cache.stats.puts == puts_before  # nothing recompiled
+
+    def test_custom_factory_falls_back_inline(self, tiny_program):
+        from repro.experiments.harness import CompilerSpec
+
+        def custom_factory(isa, topology, optimization_level):
+            return PhoenixCompiler(
+                isa=isa, topology=topology, optimization_level=optimization_level,
+                lookahead=3,
+            )
+
+        service = CompilationService()
+        suite = run_suite(
+            {"tiny": tiny_program},
+            [CompilerSpec("custom", custom_factory)],
+            service=service,
+            workers=1,
+        )
+        assert suite["tiny"]["custom"].metrics.cx_count > 0
+        assert service.cache.stats.puts == 0  # never went through the service
