@@ -1,0 +1,134 @@
+"""Perf — wall-clock of the fast Clifford2Q search engine vs the reference.
+
+Runs the Table I UCCSD suite through ``simplify_group`` with both the fast
+(incremental, bit-packed) engine and the reference (copy-and-rescore)
+engine, checks the outputs are bit-identical, and records the speedups in
+``benchmarks/results/perf_simplify_speedup.txt`` (human-readable) and
+``benchmarks/results/BENCH_simplify.json`` (machine-readable: suite,
+seconds, speedup) to track the perf trajectory across PRs.
+
+Setting ``REPRO_PERF_SMOKE=1`` restricts the run to the two smallest
+molecules of the selection and turns on the wall-clock gate — the CI
+perf-smoke job uses this to catch fast-engine regressions without paying
+for the full suite.  The default (tier-1) run only checks engine
+equivalence: timing assertions and result-file writes are gated so that a
+contended CI runner cannot flake the functional suite, and so that tier-1
+runs do not overwrite the full-suite numbers recorded in
+``benchmarks/results/``.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import FULL_SUITE, RESULTS_DIR, write_report
+from repro.core.grouping import group_terms
+from repro.core.simplify import simplify_group
+from repro.experiments import format_table
+
+#: Perf-smoke gate.  The smoke molecules measure ~11-13x over the
+#: reference engine, so a floor of 5x fails loudly once the fast engine
+#: loses more than ~2x of its advantage while keeping ample headroom for
+#: noisy CI runners (the ratio is contention-robust: both engines share
+#: the machine).
+SMOKE_MIN_SPEEDUP = 5.0
+
+PERF_SMOKE = os.environ.get("REPRO_PERF_SMOKE", "0") not in ("0", "", "false")
+
+
+def _clifford_keys(simplified):
+    return [(c.kind, c.control, c.target) for c in simplified.cliffords]
+
+
+def _term_keys(simplified):
+    return [(t.string.to_label(), t.coefficient) for t in simplified.final_terms]
+
+
+def _time_engine(groups, engine):
+    start = time.perf_counter()
+    simplified = [simplify_group(group, engine=engine) for group in groups]
+    return time.perf_counter() - start, simplified
+
+
+def test_perf_simplify_fast_vs_reference(uccsd_programs):
+    programs = sorted(uccsd_programs.items(), key=lambda kv: (len(kv[1]), kv[0]))
+    if PERF_SMOKE:
+        programs = programs[:2]
+
+    rows = []
+    instances = {}
+    for name, terms in programs:
+        groups = group_terms(terms)
+        seconds_ref, simplified_ref = _time_engine(groups, "reference")
+        seconds_fast, simplified_fast = _time_engine(groups, "fast")
+
+        # The engines must agree bit for bit, group by group.
+        for ref, fast in zip(simplified_ref, simplified_fast):
+            assert _clifford_keys(ref) == _clifford_keys(fast)
+            assert _term_keys(ref) == _term_keys(fast)
+            assert ref.implemented_order == fast.implemented_order
+
+        speedup = seconds_ref / seconds_fast
+        cliffords = sum(s.clifford_count for s in simplified_fast)
+        rows.append([
+            name,
+            len(terms),
+            len(groups),
+            cliffords,
+            f"{seconds_ref:.3f}",
+            f"{seconds_fast:.3f}",
+            f"{speedup:.1f}x",
+        ])
+        instances[name] = {
+            "paulis": len(terms),
+            "groups": len(groups),
+            "cliffords": cliffords,
+            "seconds_reference": seconds_ref,
+            "seconds_fast": seconds_fast,
+            "speedup": speedup,
+        }
+        if PERF_SMOKE:
+            assert speedup >= SMOKE_MIN_SPEEDUP, (
+                f"{name}: fast engine only {speedup:.2f}x over reference "
+                f"(smoke threshold {SMOKE_MIN_SPEEDUP}x)"
+            )
+
+    largest = max(instances, key=lambda n: instances[n]["paulis"])
+    total_ref = sum(i["seconds_reference"] for i in instances.values())
+    total_fast = sum(i["seconds_fast"] for i in instances.values())
+    report = {
+        "suite": [name for name, _ in programs],
+        "smoke": PERF_SMOKE,
+        "instances": instances,
+        "largest": largest,
+        "largest_speedup": instances[largest]["speedup"],
+        "seconds": {"reference": total_ref, "fast": total_fast},
+        "speedup": total_ref / total_fast,
+    }
+
+    table = format_table(
+        rows,
+        headers=["Benchmark", "#Pauli", "#Group", "#Clifford", "ref (s)", "fast (s)", "speedup"],
+    )
+    print("\nPerf — simplify_group fast engine vs reference\n" + table)
+    # Only the full Table I run records the perf trajectory, so a default
+    # tier-1 run cannot overwrite the committed numbers with a small slice.
+    if FULL_SUITE and not PERF_SMOKE:
+        write_report("perf_simplify_speedup", table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_simplify.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+
+
+def test_full_pipeline_bit_identical_across_engines(uccsd_programs):
+    """End-to-end: both engines compile to the exact same circuit."""
+    from repro.core.compiler import PhoenixCompiler
+
+    name, terms = min(uccsd_programs.items(), key=lambda kv: (len(kv[1]), kv[0]))
+    fast = PhoenixCompiler(simplify_engine="fast").compile(terms)
+    reference = PhoenixCompiler(simplify_engine="reference").compile(terms)
+    fast_gates = [(g.name, g.qubits, g.params) for g in fast.circuit]
+    ref_gates = [(g.name, g.qubits, g.params) for g in reference.circuit]
+    assert fast_gates == ref_gates, f"{name}: engines compiled different circuits"
+    assert fast.metrics == reference.metrics

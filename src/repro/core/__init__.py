@@ -5,8 +5,8 @@ Tetris-like IR group ordering -> ISA rebase (+ optional hardware mapping).
 """
 
 from repro.core.grouping import IRGroup, group_terms
-from repro.core.cost import bsf_cost
-from repro.core.simplify import SimplifiedGroup, simplify_group
+from repro.core.cost import bsf_cost, bsf_cost_reference, cost_terms
+from repro.core.simplify import SimplifiedGroup, fast_candidate_costs, simplify_group
 from repro.core.ordering import order_groups, assembling_cost
 from repro.core.compiler import PhoenixCompiler, CompilationResult
 
@@ -14,7 +14,10 @@ __all__ = [
     "IRGroup",
     "group_terms",
     "bsf_cost",
+    "bsf_cost_reference",
+    "cost_terms",
     "SimplifiedGroup",
+    "fast_candidate_costs",
     "simplify_group",
     "order_groups",
     "assembling_cost",

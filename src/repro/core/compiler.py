@@ -72,6 +72,10 @@ class PhoenixCompiler:
         0 = raw emission, 2 = inverse cancellation + rotation merging
         (the PHOENIX default), 3 = additionally commutation cancellation and
         1Q fusion (the paper's "+ Qiskit O3" configuration).
+    simplify_engine:
+        Candidate scorer of the Clifford2Q search: ``"fast"`` (incremental
+        bit-packed scoring), ``"reference"`` (the original copy-and-rescore
+        scan), or ``"auto"`` (fast; both produce bit-identical circuits).
     cache:
         Optional cache store with ``get(key) -> dict | None`` and
         ``put(key, dict)`` (see :mod:`repro.service.cache`).  When set,
@@ -90,15 +94,22 @@ class PhoenixCompiler:
         optimization_level: int = 2,
         seed: int = 0,
         cache=None,
+        simplify_engine: str = "auto",
     ):
         if isa not in ("cnot", "su4"):
             raise ValueError(f"unsupported ISA {isa!r}; expected 'cnot' or 'su4'")
+        if simplify_engine not in ("auto", "fast", "reference"):
+            raise ValueError(
+                f"unsupported simplify engine {simplify_engine!r}; "
+                "expected 'auto', 'fast' or 'reference'"
+            )
         self.isa = isa
         self.topology = topology
         self.lookahead = int(lookahead)
         self.optimization_level = int(optimization_level)
         self.seed = int(seed)
         self.cache = cache
+        self.simplify_engine = simplify_engine
 
     # ------------------------------------------------------------------
     def config_dict(self) -> Dict[str, Any]:
@@ -156,7 +167,9 @@ class PhoenixCompiler:
         num_qubits = terms[0].num_qubits
 
         groups = group_terms(terms)
-        simplified = [simplify_group(group) for group in groups]
+        simplified = [
+            simplify_group(group, engine=self.simplify_engine) for group in groups
+        ]
         ordered = order_groups(
             simplified,
             num_qubits,

@@ -65,6 +65,40 @@ def _boundary_cliffords(circuit: QuantumCircuit, from_left: bool) -> List[Tuple[
     return boundary
 
 
+def _all_pairs_bfs_distances(edges, num_qubits: int) -> np.ndarray:
+    """All-pairs shortest-path lengths of an unweighted graph, via numpy BFS.
+
+    Runs one synchronous breadth-first wave for all sources at once: the
+    frontier is a boolean (sources x nodes) matrix advanced by multiplying
+    with the adjacency matrix.  Unreachable pairs keep distance 0 (their
+    rows drop out of the Eq. (7) cosine similarity), matching the previous
+    networkx ``all_pairs_shortest_path_length`` behaviour.
+    """
+    distances = np.zeros((num_qubits, num_qubits))
+    if not edges:
+        return distances
+    nodes = sorted({q for edge in edges for q in edge})
+    index = {q: i for i, q in enumerate(nodes)}
+    k = len(nodes)
+    adjacency = np.zeros((k, k), dtype=bool)
+    for a, b in edges:
+        adjacency[index[a], index[b]] = True
+        adjacency[index[b], index[a]] = True
+    local = np.zeros((k, k))
+    reached = np.eye(k, dtype=bool)
+    frontier = reached.copy()
+    depth = 0
+    while True:
+        frontier = (frontier @ adjacency) & ~reached
+        if not frontier.any():
+            break
+        depth += 1
+        local[frontier] = depth
+        reached |= frontier
+    distances[np.ix_(nodes, nodes)] = local
+    return distances
+
+
 def _interface_distance_matrix(
     circuit: QuantumCircuit, num_qubits: int, from_tail: bool
 ) -> np.ndarray:
@@ -75,28 +109,20 @@ def _interface_distance_matrix(
     pairs and untouched qubits contribute distance 0 so their rows drop out
     of the cosine similarity.
     """
-    import networkx as nx
-
     two_qubit_gates = [g for g in circuit if g.is_two_qubit()]
     if from_tail:
         two_qubit_gates = list(reversed(two_qubit_gates))
     target_support = set()
     for gate in two_qubit_gates:
         target_support.update(gate.qubits)
-    graph = nx.Graph()
+    edges = []
     covered = set()
     for gate in two_qubit_gates:
-        graph.add_edge(gate.qubits[0], gate.qubits[1])
+        edges.append((gate.qubits[0], gate.qubits[1]))
         covered.update(gate.qubits)
         if covered >= target_support:
             break
-    distances = np.zeros((num_qubits, num_qubits))
-    if graph.number_of_nodes() > 0:
-        lengths = dict(nx.all_pairs_shortest_path_length(graph))
-        for a, targets in lengths.items():
-            for b, d in targets.items():
-                distances[a, b] = d
-    return distances
+    return _all_pairs_bfs_distances(edges, num_qubits)
 
 
 def build_block(simplified: SimplifiedGroup, num_qubits: int) -> GroupBlock:

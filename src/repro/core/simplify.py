@@ -8,6 +8,24 @@ conjugated tableau, and the best candidate is applied.  The loop ends when
 the total weight of Eq. (4) drops to at most two, at which point the
 remaining rows are plain one- or two-qubit Pauli rotations.
 
+Search engines
+--------------
+Two provably-equivalent candidate scorers are available:
+
+* ``engine="fast"`` (the default when the cost is Eq. (6)) scores all
+  ~9 * O(k^2) candidates incrementally: a candidate conjugation only
+  rewrites the two qubit columns it touches, so the engine packs every
+  column into ``np.uint64`` words (one word per column for groups of up to
+  64 rows), applies the sign-free tableau rules of all six generator kinds
+  to just those columns in batched numpy ops, and evaluates the Eq. (6)
+  cost through its closed-form column identity — O(rows) work per
+  candidate instead of a full-tableau copy plus an O(rows^2 * qubits)
+  rescore.  All candidate costs are exact integers (doubled), so the
+  arg-min reproduces the reference tie-breaking bit for bit.
+* ``engine="reference"`` is the original copy-and-rescore loop; it remains
+  the fallback for custom cost functions (e.g. the ablation study) and the
+  oracle for the equivalence property tests.
+
 Output structure
 ----------------
 The paper's pseudocode assembles the result by prepending/appending the
@@ -31,9 +49,15 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cliffords.clifford2q import Clifford2Q
-from repro.core.cost import bsf_cost
+from repro.core.cost import bsf_cost, pairs_of
 from repro.core.grouping import IRGroup
-from repro.paulis.bsf import BSF, CLIFFORD2Q_KINDS
+from repro.paulis.bsf import (
+    BSF,
+    CLIFFORD2Q_KINDS,
+    clifford2q_postlude,
+    clifford2q_prelude,
+)
+from repro.paulis.packed import pack_bits, popcount
 from repro.paulis.pauli import PauliTerm
 
 #: Hard cap on the number of Clifford2Q search epochs per group, relative to
@@ -88,29 +112,275 @@ class SimplifiedGroup:
         return [self.group.terms[i] for i in self.implemented_order]
 
 
+# ----------------------------------------------------------------------
+# Candidate enumeration (shared by both engines)
+# ----------------------------------------------------------------------
+def _candidate_pair_arrays(support: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised candidate pairs: both columns active, >= 1 shared row.
+
+    ``support.T @ support`` counts, for every column pair, the rows on which
+    both columns are non-trivial; ``np.nonzero`` of its strict upper
+    triangle enumerates the pairs in the same row-major ``(a < b)`` order as
+    the original nested-loop scan.
+    """
+    shared = support.T.astype(np.int64) @ support.astype(np.int64)
+    # shared > 0 already implies both columns are active (some row is
+    # non-trivial on both), so no separate activity mask is needed.
+    return np.nonzero(np.triu(shared > 0, k=1))
+
+
 def _candidate_pairs(bsf: BSF) -> List[Tuple[int, int]]:
     """Qubit pairs worth trying: both columns active, sharing at least one row."""
-    support = bsf.x | bsf.z
-    active = np.flatnonzero(support.any(axis=0))
-    pairs: List[Tuple[int, int]] = []
-    for i_pos in range(len(active)):
-        for j_pos in range(i_pos + 1, len(active)):
-            a = int(active[i_pos])
-            b = int(active[j_pos])
-            if np.any(support[:, a] & support[:, b]):
-                pairs.append((a, b))
-    return pairs
+    a_idx, b_idx = _candidate_pair_arrays(bsf.x | bsf.z)
+    return [(int(a), int(b)) for a, b in zip(a_idx, b_idx)]
+
+
+#: The nine (generator kind, swap control/target) orientations per qubit
+#: pair, in the exact enumeration order of the reference engine.
+_ORIENTATIONS: Tuple[Tuple[str, bool], ...] = (
+    ("xx", False),
+    ("yy", False),
+    ("zz", False),
+    ("xy", False),
+    ("xy", True),
+    ("yz", False),
+    ("yz", True),
+    ("zx", False),
+    ("zx", True),
+)
 
 
 def _candidate_cliffords(pairs: Sequence[Tuple[int, int]]) -> List[Clifford2Q]:
     cliffords: List[Clifford2Q] = []
     for a, b in pairs:
-        for kind in ("xx", "yy", "zz"):
-            cliffords.append(Clifford2Q(kind, a, b))
-        for kind in ("xy", "yz", "zx"):
-            cliffords.append(Clifford2Q(kind, a, b))
-            cliffords.append(Clifford2Q(kind, b, a))
+        for kind, swapped in _ORIENTATIONS:
+            cliffords.append(Clifford2Q(kind, b, a) if swapped else Clifford2Q(kind, a, b))
     return cliffords
+
+
+# ----------------------------------------------------------------------
+# Fast engine: incremental column-local candidate scoring
+# ----------------------------------------------------------------------
+def _pair_program(kind: str) -> Tuple[Tuple[str, Optional[int]], ...]:
+    """The elementary-gate program of ``C(s0, s1)`` on symbolic qubits (0, 1)."""
+    program: List[Tuple[str, Optional[int]]] = []
+    program.extend(clifford2q_prelude(kind, 0, 1))
+    program.append(("cx", None))
+    program.extend(clifford2q_postlude(kind, 0, 1))
+    return tuple(program)
+
+
+_PAIR_PROGRAMS = {kind: _pair_program(kind) for kind in CLIFFORD2Q_KINDS}
+
+
+def _conjugate_pair_columns(kind, xc, zc, xt, zt):
+    """Sign-free tableau update of the two columns touched by ``C(s0, s1)``.
+
+    Inputs are the (control, target) x/z column bit vectors — boolean or
+    uint64-packed, any trailing shape — and the outputs are fresh arrays.
+    Signs are irrelevant here because Eq. (6) only reads the bit pattern.
+    """
+    xc, zc, xt, zt = xc.copy(), zc.copy(), xt.copy(), zt.copy()
+    for name, qubit in _PAIR_PROGRAMS[kind]:
+        if name == "cx":
+            xt ^= xc
+            zc ^= zt
+        elif name == "h":
+            if qubit == 0:
+                xc, zc = zc, xc
+            else:
+                xt, zt = zt, xt
+        else:  # s / sdg act identically on the bits: z ^= x
+            if qubit == 0:
+                zc ^= xc
+            else:
+                zt ^= xt
+    return xc, zc, xt, zt
+
+
+def _orientation_matrices() -> np.ndarray:
+    """GF(2) matrices of all nine candidate orientations.
+
+    Every elementary update in :func:`_conjugate_pair_columns` is linear
+    over GF(2), so the whole conjugation maps the four input columns
+    ``(x_a, z_a, x_b, z_b)`` to XOR combinations of themselves.  Entry
+    ``[o, k, i]`` says whether input ``i`` feeds output ``k`` under
+    orientation ``o``; the scorer uses these to batch all orientations into
+    a handful of word-wide XOR passes.
+    """
+    mats = np.zeros((len(_ORIENTATIONS), 4, 4), dtype=bool)
+    for o, (kind, swapped) in enumerate(_ORIENTATIONS):
+        for i in range(4):
+            xa, za, xb, zb = (np.array([j == i]) for j in range(4))
+            if swapped:
+                xb2, zb2, xa2, za2 = _conjugate_pair_columns(kind, xb, zb, xa, za)
+            else:
+                xa2, za2, xb2, zb2 = _conjugate_pair_columns(kind, xa, za, xb, zb)
+            for k, column in enumerate((xa2, za2, xb2, zb2)):
+                mats[o, k, i] = bool(column[0])
+    return mats
+
+
+_ORIENTATION_MATS = _orientation_matrices()
+
+
+def _candidate_scores2(
+    bsf: BSF,
+    support: Optional[np.ndarray] = None,
+    row_weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Doubled Eq. (6) costs of every candidate, scored incrementally.
+
+    Returns ``(a_idx, b_idx, cost2)`` where ``cost2[p, o]`` is twice the
+    Eq. (6) cost of conjugating the tableau by orientation ``o`` (see
+    ``_ORIENTATIONS``) on pair ``(a_idx[p], b_idx[p])`` — an exact integer,
+    so comparisons carry no floating-point ambiguity.
+
+    A candidate only rewrites its two columns, so each score is the epoch's
+    base cost plus a column-local delta:
+
+    * the pairwise OR-sums change only through the two columns' popcounts
+      (closed-form identity, see :mod:`repro.core.cost`);
+    * ``n_nl`` changes only by rows whose weight crosses 1, detected with
+      bit-packed masks of the weight-1/2/3 rows; and
+    * ``w_tot`` changes only by the two columns' activity.
+    """
+    x, z = bsf.x, bsf.z
+    if support is None:
+        support = x | z
+    if row_weights is None:
+        row_weights = support.sum(axis=1)
+    rows = bsf.num_terms
+
+    a_idx, b_idx = _candidate_pair_arrays(support)
+    n_pairs = len(a_idx)
+    if n_pairs == 0:
+        return a_idx, b_idx, np.zeros((0, len(_ORIENTATIONS)), dtype=np.int64)
+
+    cs = np.count_nonzero(support, axis=0).astype(np.int64)
+    cx_cols = np.count_nonzero(x, axis=0).astype(np.int64)
+    cz_cols = np.count_nonzero(z, axis=0).astype(np.int64)
+    n_nl = int(np.count_nonzero(row_weights > 1))
+    w_tot = int(np.count_nonzero(cs))
+    num_cols = bsf.num_qubits
+    total_pairs = int(pairs_of(rows))
+    # Doubled base of the two pairwise Eq. (6) sums over *all* columns.
+    base_pair2 = int(
+        4 * total_pairs * num_cols
+        - 2 * pairs_of(rows - cs).sum()
+        - pairs_of(rows - cx_cols).sum()
+        - pairs_of(rows - cz_cols).sum()
+    )
+
+    # Column-packed tableau: each qubit column becomes ceil(rows/64) words.
+    xp = pack_bits(x.T)
+    zp = pack_bits(z.T)
+    sp = xp | zp
+    w1_mask = pack_bits((row_weights == 1)[None, :])[0]
+    w2_mask = pack_bits((row_weights == 2)[None, :])[0]
+
+    both_before = sp[a_idx] & sp[b_idx]
+    active_ab = (cs[a_idx] > 0).astype(np.int64) + (cs[b_idx] > 0).astype(np.int64)
+    f_cs_old = pairs_of(rows - cs[a_idx]) + pairs_of(rows - cs[b_idx])
+    f_cx_old = pairs_of(rows - cx_cols[a_idx]) + pairs_of(rows - cx_cols[b_idx])
+    f_cz_old = pairs_of(rows - cz_cols[a_idx]) + pairs_of(rows - cz_cols[b_idx])
+
+    # Conjugate the gathered column words by all nine orientations at once:
+    # output o,k is the XOR of the inputs selected by _ORIENTATION_MATS.
+    inputs = np.stack((xp[a_idx], zp[a_idx], xp[b_idx], zp[b_idx]))
+    out = np.zeros((len(_ORIENTATIONS), 4, n_pairs, inputs.shape[-1]), dtype=np.uint64)
+    for i in range(4):
+        out[_ORIENTATION_MATS[:, :, i]] ^= inputs[i]
+    xa2, za2, xb2, zb2 = out[:, 0], out[:, 1], out[:, 2], out[:, 3]
+    sa2 = xa2 | za2
+    sb2 = xb2 | zb2
+    cs_a2 = popcount(sa2).sum(axis=-1)  # (orientations, pairs)
+    cs_b2 = popcount(sb2).sum(axis=-1)
+
+    # Rows whose weight crosses the local (<= 1) threshold.  Conjugation by
+    # a Clifford supported on the pair is invertible on the pair's Pauli
+    # algebra (every _ORIENTATION_MATS entry is full-rank over GF(2)), so a
+    # row's in-pair support can move 2 -> 1 (leave: weight-2 rows with both
+    # columns before, exactly one after) or 1 -> 2 (enter: weight-1 rows
+    # with both columns after) but never vanish.
+    leave = popcount(w2_mask & both_before & (sa2 ^ sb2)).sum(axis=-1)
+    enter = popcount(w1_mask & sa2 & sb2).sum(axis=-1)
+    n_nl2 = n_nl - leave + enter
+    w_tot2 = (
+        w_tot
+        - active_ab
+        + (cs_a2 > 0).astype(np.int64)
+        + (cs_b2 > 0).astype(np.int64)
+    )
+
+    pair2 = (
+        base_pair2
+        + 2 * (f_cs_old - pairs_of(rows - cs_a2) - pairs_of(rows - cs_b2))
+        + (
+            f_cx_old
+            - pairs_of(rows - popcount(xa2).sum(axis=-1))
+            - pairs_of(rows - popcount(xb2).sum(axis=-1))
+        )
+        + (
+            f_cz_old
+            - pairs_of(rows - popcount(za2).sum(axis=-1))
+            - pairs_of(rows - popcount(zb2).sum(axis=-1))
+        )
+    )
+    cost2 = 2 * w_tot2 * n_nl2 * n_nl2 + pair2
+    return a_idx, b_idx, cost2.T
+
+
+def fast_candidate_costs(bsf: BSF) -> List[Tuple[Clifford2Q, float]]:
+    """Every candidate Clifford with its incrementally-scored Eq. (6) cost.
+
+    The costs are exact (the engine works in doubled-integer units), in the
+    same candidate order as the reference engine; used by the equivalence
+    property tests.
+    """
+    a_idx, b_idx, cost2 = _candidate_scores2(bsf)
+    scored: List[Tuple[Clifford2Q, float]] = []
+    for p in range(len(a_idx)):
+        a, b = int(a_idx[p]), int(b_idx[p])
+        for o, (kind, swapped) in enumerate(_ORIENTATIONS):
+            clifford = Clifford2Q(kind, b, a) if swapped else Clifford2Q(kind, a, b)
+            scored.append((clifford, cost2[p, o] / 2.0))
+    return scored
+
+
+def _best_clifford_fast(
+    bsf: BSF, support: np.ndarray, row_weights: np.ndarray
+) -> Optional[Clifford2Q]:
+    """Arg-min candidate under Eq. (6); ties resolve to the first candidate,
+    matching the reference engine's strict-improvement scan."""
+    a_idx, b_idx, cost2 = _candidate_scores2(bsf, support, row_weights)
+    if len(a_idx) == 0:
+        return None
+    flat = int(np.argmin(cost2))  # row-major: pair-major, orientation-minor
+    p, o = divmod(flat, cost2.shape[1])
+    kind, swapped = _ORIENTATIONS[o]
+    a, b = int(a_idx[p]), int(b_idx[p])
+    return Clifford2Q(kind, b, a) if swapped else Clifford2Q(kind, a, b)
+
+
+# ----------------------------------------------------------------------
+# Reference engine: copy the tableau and rescore from scratch
+# ----------------------------------------------------------------------
+def _best_clifford_reference(bsf: BSF, cost_function) -> Tuple[Clifford2Q, BSF]:
+    """The original O(candidates * rows^2 * qubits) scan, kept as the
+    equivalence oracle and for custom cost functions."""
+    candidates = _candidate_cliffords(_candidate_pairs(bsf))
+    best_cost = None
+    best_clifford = None
+    best_bsf = None
+    for clifford in candidates:
+        trial = bsf.applied_clifford2q(clifford.kind, clifford.control, clifford.target)
+        cost = cost_function(trial)
+        if best_cost is None or cost < best_cost - 1e-12:
+            best_cost = cost
+            best_clifford = clifford
+            best_bsf = trial
+    return best_clifford, best_bsf
 
 
 _ANTICOMMUTING = {"X": "z", "Y": "x", "Z": "x"}
@@ -148,8 +418,23 @@ def simplify_group(
     group: IRGroup,
     max_epochs: Optional[int] = None,
     cost_function=bsf_cost,
+    engine: str = "auto",
 ) -> SimplifiedGroup:
-    """Run Algorithm 1 on one IR group."""
+    """Run Algorithm 1 on one IR group.
+
+    ``engine`` selects the candidate scorer: ``"fast"`` (incremental,
+    bit-packed), ``"reference"`` (copy-and-rescore), or ``"auto"`` (fast
+    when the cost is the stock Eq. (6), reference otherwise).  Both engines
+    choose bit-identical Clifford sequences.
+    """
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"unknown simplify engine {engine!r}")
+    if engine == "fast" and cost_function is not bsf_cost:
+        raise ValueError(
+            "engine='fast' scores the stock Eq. (6) cost only; use "
+            "engine='auto' or 'reference' for custom cost functions"
+        )
+    use_fast = engine == "fast" or (engine == "auto" and cost_function is bsf_cost)
     terms = group.terms
     if not terms:
         raise ValueError("cannot simplify an empty IR group")
@@ -163,10 +448,16 @@ def simplify_group(
     hard_limit = max_epochs + 2 * bsf.num_terms * bsf.num_qubits + 8
 
     epochs = 0
-    while bsf.total_weight() > 2:
+    while True:
+        # One support/weight computation per epoch, threaded through the
+        # peel, the termination checks, and the candidate scorer.
+        support = bsf.x | bsf.z
+        if int(np.count_nonzero(support.any(axis=0))) <= 2:
+            break
         level = SimplificationLevel()
         # Peel local rows (they are bare 1Q rotations).
-        local_mask = bsf.row_weights() <= 1
+        row_weights = support.sum(axis=1)
+        local_mask = row_weights <= 1
         if np.any(local_mask):
             local_bsf = bsf.select_rows(local_mask)
             level.local_terms = local_bsf.to_terms()
@@ -174,29 +465,23 @@ def simplify_group(
             keep = ~local_mask
             bsf = bsf.select_rows(keep)
             row_ids = [row_ids[i] for i in np.flatnonzero(keep)]
-        if bsf.total_weight() <= 2:
+            support = support[keep]
+            row_weights = row_weights[keep]
+        if int(np.count_nonzero(support.any(axis=0))) <= 2:
             result.levels.append(level)
             break
 
         if epochs < max_epochs:
-            candidates = _candidate_cliffords(_candidate_pairs(bsf))
-            best_cost = None
-            best_clifford = None
-            best_bsf = None
-            for clifford in candidates:
-                trial = bsf.applied_clifford2q(clifford.kind, clifford.control, clifford.target)
-                cost = cost_function(trial)
-                if best_cost is None or cost < best_cost - 1e-12:
-                    best_cost = cost
-                    best_clifford = clifford
-                    best_bsf = trial
-            clifford = best_clifford
-            bsf = best_bsf
+            if use_fast:
+                clifford = _best_clifford_fast(bsf, support, row_weights)
+                bsf.apply_clifford2q(clifford.kind, clifford.control, clifford.target)
+            else:
+                clifford, bsf = _best_clifford_reference(bsf, cost_function)
         else:
             # Greedy budget exhausted: fall back to guaranteed single-row
             # weight reduction until the tableau is small enough.
             clifford = _fallback_clifford(bsf)
-            bsf = bsf.applied_clifford2q(clifford.kind, clifford.control, clifford.target)
+            bsf.apply_clifford2q(clifford.kind, clifford.control, clifford.target)
 
         level.clifford = clifford
         result.levels.append(level)

@@ -1,8 +1,9 @@
 """Tests for the Eq. (6) BSF cost function."""
 
+import numpy as np
 import pytest
 
-from repro.core.cost import bsf_cost, cost_terms
+from repro.core.cost import bsf_cost, bsf_cost_reference, cost_terms, pairs_of
 from repro.paulis.bsf import BSF
 
 
@@ -34,3 +35,15 @@ class TestBsfCost:
         bsf = BSF.from_labels([("XYZ", 1.0), ("ZZY", 1.0), ("XIX", 1.0)])
         parts = cost_terms(bsf)
         assert sum(parts.values()) == pytest.approx(bsf_cost(bsf))
+
+    def test_closed_form_equals_pairwise_reference(self):
+        rng = np.random.default_rng(123)
+        for _ in range(100):
+            rows = int(rng.integers(1, 16))
+            qubits = int(rng.integers(1, 12))
+            bsf = BSF(rng.random((rows, qubits)) < 0.4, rng.random((rows, qubits)) < 0.4)
+            assert bsf_cost(bsf) == bsf_cost_reference(bsf)
+            assert sum(cost_terms(bsf).values()) == bsf_cost_reference(bsf)
+
+    def test_pairs_of_handles_small_arguments(self):
+        assert pairs_of(np.array([0, 1, 2, 5])).tolist() == [0, 0, 1, 10]

@@ -1,11 +1,46 @@
 """Tests for the Tetris-like IR group ordering."""
 
+import numpy as np
 import pytest
 
 from repro.core.grouping import group_terms
-from repro.core.ordering import assembling_cost, build_block, order_groups
+from repro.core.ordering import (
+    _all_pairs_bfs_distances,
+    assembling_cost,
+    build_block,
+    order_groups,
+)
 from repro.core.simplify import simplify_group
 from repro.paulis.pauli import PauliTerm
+
+
+class TestAllPairsBfs:
+    def test_matches_networkx_on_random_graphs(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(17)
+        for _ in range(60):
+            n = int(rng.integers(2, 12))
+            edges = [
+                tuple(sorted(rng.choice(n, 2, replace=False).tolist()))
+                for _ in range(int(rng.integers(0, 14)))
+            ]
+            mine = _all_pairs_bfs_distances(edges, n)
+            graph = nx.Graph()
+            graph.add_edges_from(edges)
+            reference = np.zeros((n, n))
+            for a, targets in dict(nx.all_pairs_shortest_path_length(graph)).items():
+                for b, d in targets.items():
+                    reference[a, b] = d
+            assert np.array_equal(mine, reference)
+
+    def test_empty_edge_list(self):
+        assert not _all_pairs_bfs_distances([], 5).any()
+
+    def test_disconnected_pairs_stay_zero(self):
+        distances = _all_pairs_bfs_distances([(0, 1), (2, 3)], 4)
+        assert distances[0, 1] == 1
+        assert distances[0, 2] == 0
+        assert distances[1, 3] == 0
 
 
 def _simplified(labels, coeff=0.1):

@@ -1,0 +1,85 @@
+"""Tests for the bit-packed tableau representation and popcount helpers."""
+
+import numpy as np
+import pytest
+
+from repro.paulis.bsf import BSF
+from repro.paulis.packed import (
+    PackedBSF,
+    pack_bits,
+    popcount,
+    unpack_bits,
+    words_needed,
+)
+
+
+class TestPopcount:
+    def test_matches_python_bit_count(self):
+        rng = np.random.default_rng(7)
+        words = rng.integers(0, 2**64, size=200, dtype=np.uint64)
+        expected = np.array([int(w).bit_count() for w in words])
+        assert np.array_equal(popcount(words), expected)
+
+    def test_edge_words(self):
+        words = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert popcount(words).tolist() == [0, 1, 1, 64]
+
+    def test_preserves_shape(self):
+        words = np.zeros((3, 4), dtype=np.uint64)
+        assert popcount(words).shape == (3, 4)
+
+
+class TestPackBits:
+    @pytest.mark.parametrize("width", [1, 7, 63, 64, 65, 130])
+    def test_roundtrip(self, width):
+        rng = np.random.default_rng(width)
+        mat = rng.random((5, width)) < 0.5
+        packed = pack_bits(mat)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (5, words_needed(width))
+        assert np.array_equal(unpack_bits(packed, width), mat)
+
+    def test_popcount_equals_row_sums(self):
+        rng = np.random.default_rng(11)
+        mat = rng.random((9, 100)) < 0.3
+        assert np.array_equal(popcount(pack_bits(mat)).sum(axis=1), mat.sum(axis=1))
+
+    def test_zero_width_packs_to_zero_word(self):
+        packed = pack_bits(np.zeros((3, 0), dtype=bool))
+        assert packed.shape == (3, 1)
+        assert not packed.any()
+
+
+class TestPackedBSF:
+    def _random_bsf(self, rows=12, qubits=70, seed=3):
+        rng = np.random.default_rng(seed)
+        x = rng.random((rows, qubits)) < 0.4
+        z = rng.random((rows, qubits)) < 0.4
+        coeffs = rng.normal(size=rows)
+        signs = np.where(rng.random(rows) < 0.5, 1, -1)
+        return BSF(x, z, coeffs, signs)
+
+    def test_roundtrip_through_bsf(self):
+        bsf = self._random_bsf()
+        back = PackedBSF.from_bsf(bsf).to_bsf()
+        assert np.array_equal(back.x, bsf.x)
+        assert np.array_equal(back.z, bsf.z)
+        assert np.array_equal(back.coefficients, bsf.coefficients)
+        assert np.array_equal(back.signs, bsf.signs)
+
+    def test_weight_queries_match_bool_tableau(self):
+        bsf = self._random_bsf(rows=17, qubits=130, seed=5)
+        packed = PackedBSF.from_bsf(bsf)
+        assert np.array_equal(packed.row_weights(), bsf.row_weights())
+        assert packed.total_weight() == bsf.total_weight()
+        assert np.array_equal(packed.column_weights(), bsf.column_weights())
+
+    def test_word_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PackedBSF(np.zeros((2, 2), dtype=np.uint64), np.zeros((2, 2), dtype=np.uint64), 10)
+
+    def test_copy_is_independent(self):
+        packed = PackedBSF.from_bsf(self._random_bsf(rows=3, qubits=8))
+        clone = packed.copy()
+        clone.x[0] = 0
+        assert packed.x[0].any()
