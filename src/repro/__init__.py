@@ -16,6 +16,12 @@ from repro.paulis import PauliString, PauliTerm, Hamiltonian
 from repro.paulis.bsf import BSF
 from repro.circuits import QuantumCircuit, Gate
 from repro.core import PhoenixCompiler, CompilationResult
+from repro.pipeline import (
+    CompileOptions,
+    Pipeline,
+    build_compiler,
+    register_compiler,
+)
 
 __version__ = "0.1.0"
 
@@ -28,5 +34,9 @@ __all__ = [
     "Gate",
     "PhoenixCompiler",
     "CompilationResult",
+    "CompileOptions",
+    "Pipeline",
+    "build_compiler",
+    "register_compiler",
     "__version__",
 ]

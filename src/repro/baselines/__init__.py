@@ -17,7 +17,7 @@ so that comparisons isolate the synthesis/ordering strategies:
   (2QAN, ISCA'22), used for the QAOA comparison.
 """
 
-from repro.baselines.base import BaselineResult, finalize_compilation
+from repro.baselines.base import BaselineCompiler, BaselineResult, finalize_compilation
 from repro.baselines.naive import NaiveCompiler
 from repro.baselines.paulihedral import PaulihedralCompiler
 from repro.baselines.tetris import TetrisCompiler
@@ -25,6 +25,7 @@ from repro.baselines.tket_like import TketLikeCompiler
 from repro.baselines.qaan import TwoQANCompiler
 
 __all__ = [
+    "BaselineCompiler",
     "BaselineResult",
     "finalize_compilation",
     "NaiveCompiler",

@@ -1,41 +1,61 @@
 """Shared machinery for the baseline compilers.
 
-``finalize_compilation`` applies exactly the same post-processing as the
-PHOENIX compiler facade: peephole optimisation at the requested level,
-SU(4) consolidation when targeting the SU(4) ISA, and SABRE mapping/routing
-for hardware-aware compilation.  This keeps the cross-compiler comparison
-about the synthesis and ordering strategy, mirroring how the paper attaches
-the same Qiskit passes to every baseline.
+The baselines are stage pipelines (see :mod:`repro.pipeline`): each swaps
+in its own ``synthesize`` front stage and shares the back end
+(``rebase -> optimize -> consolidate -> route``) with PHOENIX, so the
+cross-compiler comparison stays about the synthesis and ordering strategy
+— mirroring how the paper attaches the same Qiskit passes to every
+baseline.
+
+:func:`finalize_compilation` survives as a compatibility wrapper that runs
+exactly those shared back-end stages on an already-synthesised circuit;
+:func:`as_terms` is re-exported from :mod:`repro.pipeline`.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.compiler import CompilationResult
-from repro.hardware.routing.sabre import route_circuit
 from repro.hardware.topology import Topology
-from repro.metrics.circuit_metrics import circuit_metrics
-from repro.paulis.hamiltonian import Hamiltonian
 from repro.paulis.pauli import PauliTerm
-from repro.synthesis.consolidate import consolidate_su4
-from repro.synthesis.rebase import rebase_to_cx
-from repro.transforms.optimize import optimize_circuit
+from repro.pipeline.compiler import PipelineCompiler
+from repro.pipeline.options import CompileOptions, as_terms  # noqa: F401  (re-export)
+from repro.pipeline.stage import CompileContext, Pipeline
+from repro.pipeline.stages import backend_stages
 
 #: Baselines reuse the same result dataclass as PHOENIX.
 BaselineResult = CompilationResult
 
 
-def as_terms(program) -> List[PauliTerm]:
-    """Normalise a program (Hamiltonian or term list) into a term list."""
-    if isinstance(program, Hamiltonian):
-        return program.to_terms()
-    terms = list(program)
-    if not terms:
-        raise ValueError("cannot compile an empty program")
-    return terms
+class BaselineCompiler(PipelineCompiler):
+    """Base class for the baselines: a synthesis front stage + shared back end.
+
+    Subclasses provide :meth:`synthesis_stage` (a stage that fills
+    ``context.native`` and ``context.implemented_terms``); grouping/ordering
+    strategy differences live entirely inside that stage.
+    """
+
+    def __init__(
+        self,
+        isa: str = "cnot",
+        topology: Optional[Topology] = None,
+        optimization_level: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(
+            isa=isa,
+            topology=topology,
+            optimization_level=optimization_level,
+            seed=seed,
+        )
+
+    def synthesis_stage(self):
+        raise NotImplementedError
+
+    def build_pipeline(self) -> Pipeline:
+        return Pipeline([self.synthesis_stage()] + backend_stages())
 
 
 def finalize_compilation(
@@ -46,44 +66,24 @@ def finalize_compilation(
     optimization_level: int = 2,
     seed: int = 0,
 ) -> CompilationResult:
-    """Post-process a logically synthesised circuit into a final result."""
-    if isa not in ("cnot", "su4"):
-        raise ValueError(f"unsupported ISA {isa!r}")
-    logical_cx = rebase_to_cx(logical_native)
-    logical_cx = optimize_circuit(logical_cx, level=optimization_level)
-    if isa == "su4":
-        logical = consolidate_su4(logical_cx)
-    else:
-        logical = logical_cx
-    logical_metrics = circuit_metrics(logical)
+    """Post-process a logically synthesised circuit into a final result.
 
-    hardware_aware = topology is not None and not topology.is_all_to_all()
-    routed = None
-    routing_overhead = None
-    final_circuit = logical
-    final_metrics = logical_metrics
-    if hardware_aware:
-        routed = route_circuit(logical_cx, topology, seed=seed, decompose_swaps=False)
-        hardware_circuit = rebase_to_cx(routed.circuit)
-        hardware_circuit = optimize_circuit(hardware_circuit, level=optimization_level)
-        if isa == "su4":
-            hardware_circuit = consolidate_su4(hardware_circuit)
-        final_circuit = hardware_circuit
-        final_metrics = replace(
-            circuit_metrics(hardware_circuit), swap_count=routed.swap_count
-        )
-        logical_cx_count = max(1, circuit_metrics(logical_cx).cx_count)
-        routing_overhead = (
-            final_metrics.cx_count / logical_cx_count if isa == "cnot" else None
-        )
-
-    return CompilationResult(
-        circuit=final_circuit,
-        logical_circuit=logical,
-        metrics=final_metrics,
-        logical_metrics=logical_metrics,
-        implemented_terms=list(implemented_terms),
-        groups=[],
-        routed=routed,
-        routing_overhead=routing_overhead,
+    Runs the shared back-end stages (``rebase -> optimize -> consolidate ->
+    route``) — the single implementation in
+    :func:`repro.pipeline.stages.backend_stages` — on the given circuit.
+    """
+    options = CompileOptions(
+        isa=isa,
+        topology=topology,
+        optimization_level=optimization_level,
+        seed=seed,
     )
+    context = CompileContext(
+        options=options,
+        terms=list(implemented_terms),
+        num_qubits=logical_native.num_qubits,
+        native=logical_native,
+        implemented_terms=list(implemented_terms),
+    )
+    Pipeline(backend_stages()).run(context)
+    return context.result()

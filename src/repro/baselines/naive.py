@@ -9,39 +9,39 @@ circuit, and every optimisation rate in the paper is normalised against it.
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.baselines.base import as_terms, finalize_compilation
-from repro.core.compiler import CompilationResult
-from repro.hardware.topology import Topology
+from repro.baselines.base import BaselineCompiler
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 from repro.synthesis.pauli_exp import synthesize_terms
 
 
-class NaiveCompiler:
+class NaiveSynthesisStage:
+    """Per-term CNOT-chain synthesis in program order."""
+
+    name = "synthesize"
+
+    def run(self, context: CompileContext) -> None:
+        context.native = synthesize_terms(context.terms, tree="chain")
+        context.implemented_terms = list(context.terms)
+
+
+class NaiveCompiler(BaselineCompiler):
     """Reference compiler: unoptimised per-term synthesis."""
 
     name = "naive"
 
-    def __init__(
-        self,
-        isa: str = "cnot",
-        topology: Optional[Topology] = None,
-        optimization_level: int = 0,
-        seed: int = 0,
-    ):
-        self.isa = isa
-        self.topology = topology
-        self.optimization_level = optimization_level
-        self.seed = seed
-
-    def compile(self, program) -> CompilationResult:
-        terms = as_terms(program)
-        circuit = synthesize_terms(terms, tree="chain")
-        return finalize_compilation(
-            circuit,
-            terms,
-            isa=self.isa,
-            topology=self.topology,
-            optimization_level=self.optimization_level,
-            seed=self.seed,
+    def __init__(self, isa="cnot", topology=None, optimization_level=0, seed=0):
+        super().__init__(
+            isa=isa,
+            topology=topology,
+            optimization_level=optimization_level,
+            seed=seed,
         )
+
+    def synthesis_stage(self):
+        return NaiveSynthesisStage()
+
+
+# The naive circuit implements the given Trotter order verbatim, so its
+# cache keys must be order-sensitive.
+register_compiler("naive", NaiveCompiler, order_sensitive=True)

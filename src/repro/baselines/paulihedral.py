@@ -11,14 +11,14 @@ stronger variant of Table II).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.baselines.base import as_terms, finalize_compilation
+from repro.baselines.base import BaselineCompiler
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.compiler import CompilationResult
 from repro.core.grouping import IRGroup, group_terms
-from repro.hardware.topology import Topology
 from repro.paulis.pauli import PauliTerm
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 from repro.synthesis.pauli_exp import synthesize_pauli_term
 
 
@@ -72,27 +72,14 @@ def order_blocks_lexicographically(groups: Sequence[IRGroup]) -> List[IRGroup]:
     return sorted(groups, key=lambda g: (g.qubits, -g.num_terms))
 
 
-class PaulihedralCompiler:
-    """Block-wise Pauli-IR compiler with cancellation-friendly chains."""
+class PaulihedralSynthesisStage:
+    """Block-wise lexicographic ordering with cancellation-friendly chains."""
 
-    name = "paulihedral"
+    name = "synthesize"
 
-    def __init__(
-        self,
-        isa: str = "cnot",
-        topology: Optional[Topology] = None,
-        optimization_level: int = 2,
-        seed: int = 0,
-    ):
-        self.isa = isa
-        self.topology = topology
-        self.optimization_level = optimization_level
-        self.seed = seed
-
-    def compile(self, program) -> CompilationResult:
-        terms = as_terms(program)
-        num_qubits = terms[0].num_qubits
-        groups = group_terms(terms)
+    def run(self, context: CompileContext) -> None:
+        num_qubits = context.num_qubits
+        groups = group_terms(context.terms)
         blocks = order_blocks_lexicographically(groups)
         circuit = QuantumCircuit(num_qubits)
         implemented: List[PauliTerm] = []
@@ -106,11 +93,17 @@ class PaulihedralCompiler:
                 for gate in sub:
                     circuit.append(gate)
             implemented.extend(ordered)
-        return finalize_compilation(
-            circuit,
-            implemented,
-            isa=self.isa,
-            topology=self.topology,
-            optimization_level=self.optimization_level,
-            seed=self.seed,
-        )
+        context.native = circuit
+        context.implemented_terms = implemented
+
+
+class PaulihedralCompiler(BaselineCompiler):
+    """Block-wise Pauli-IR compiler with cancellation-friendly chains."""
+
+    name = "paulihedral"
+
+    def synthesis_stage(self):
+        return PaulihedralSynthesisStage()
+
+
+register_compiler("paulihedral", PaulihedralCompiler)

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.baselines.base import as_terms, finalize_compilation
 from repro.circuits.circuit import QuantumCircuit
+from repro.pipeline.registry import register_compiler
 from repro.core.compiler import CompilationResult
 from repro.hardware.routing.sabre import sabre_initial_mapping
 from repro.hardware.topology import Topology
@@ -166,3 +167,9 @@ class TwoQANCompiler:
 def _embedding(mapping: Dict[int, int], num_logical: int) -> List[int]:
     """Logical-to-physical qubit map as a dense list."""
     return [mapping[q] for q in range(num_logical)]
+
+
+# 2QAN keeps a hand-rolled hardware scheduler (its SWAP insertion is the
+# algorithm, not a back-end stage), but it still resolves through the one
+# registry so the service and CLI can batch 2-local programs with it.
+register_compiler("2qan", TwoQANCompiler)

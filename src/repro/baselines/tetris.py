@@ -10,20 +10,21 @@ routing-overhead multiple).
 This reproduction captures that trade-off: blocks are kept in program
 order, terms are synthesised with CNOT chains whose qubit order follows a
 connectivity-aware ordering of the support (a path through the coupling
-graph when a topology is supplied), and the standard shared post-processing
-(peephole + SABRE) is applied.
+graph when a topology is supplied), and the standard shared back-end
+stages (peephole + SABRE) are applied.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.baselines.base import as_terms, finalize_compilation
+from repro.baselines.base import BaselineCompiler
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.compiler import CompilationResult
 from repro.core.grouping import group_terms
 from repro.hardware.topology import Topology
 from repro.paulis.pauli import PauliTerm
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 from repro.synthesis.pauli_exp import synthesize_pauli_term
 
 
@@ -50,31 +51,19 @@ def connectivity_aware_order(support: Sequence[int], topology: Optional[Topology
     return ordered
 
 
-class TetrisCompiler:
-    """Routing-co-optimised block-wise synthesis."""
+class TetrisSynthesisStage:
+    """Program-order blocks with connectivity-aware CNOT-chain synthesis."""
 
-    name = "tetris"
+    name = "synthesize"
 
-    def __init__(
-        self,
-        isa: str = "cnot",
-        topology: Optional[Topology] = None,
-        optimization_level: int = 2,
-        seed: int = 0,
-    ):
-        self.isa = isa
-        self.topology = topology
-        self.optimization_level = optimization_level
-        self.seed = seed
-
-    def compile(self, program) -> CompilationResult:
-        terms = as_terms(program)
-        num_qubits = terms[0].num_qubits
-        groups = group_terms(terms)
+    def run(self, context: CompileContext) -> None:
+        num_qubits = context.num_qubits
+        topology = context.options.topology
+        groups = group_terms(context.terms)
         circuit = QuantumCircuit(num_qubits)
         implemented: List[PauliTerm] = []
         for block in groups:
-            support_order = connectivity_aware_order(block.qubits, self.topology)
+            support_order = connectivity_aware_order(block.qubits, topology)
             for term in block.terms:
                 sub = synthesize_pauli_term(
                     term, num_qubits, tree="chain", support_order=support_order
@@ -82,11 +71,17 @@ class TetrisCompiler:
                 for gate in sub:
                     circuit.append(gate)
             implemented.extend(block.terms)
-        return finalize_compilation(
-            circuit,
-            implemented,
-            isa=self.isa,
-            topology=self.topology,
-            optimization_level=self.optimization_level,
-            seed=self.seed,
-        )
+        context.native = circuit
+        context.implemented_terms = implemented
+
+
+class TetrisCompiler(BaselineCompiler):
+    """Routing-co-optimised block-wise synthesis."""
+
+    name = "tetris"
+
+    def synthesis_stage(self):
+        return TetrisSynthesisStage()
+
+
+register_compiler("tetris", TetrisCompiler)

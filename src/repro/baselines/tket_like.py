@@ -18,14 +18,14 @@ The comparison in DESIGN.md records this simplification.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.baselines.base import as_terms, finalize_compilation
+from repro.baselines.base import BaselineCompiler
 from repro.baselines.paulihedral import order_terms_for_cancellation
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.compiler import CompilationResult
-from repro.hardware.topology import Topology
 from repro.paulis.pauli import PauliTerm
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 from repro.synthesis.pauli_exp import synthesize_pauli_term
 
 
@@ -44,29 +44,16 @@ def partition_commuting_runs(terms: Sequence[PauliTerm]) -> List[List[PauliTerm]
     return runs
 
 
-class TketLikeCompiler:
-    """Commuting-run gadget synthesis with aggressive peephole optimisation."""
+class TketSynthesisStage:
+    """Commuting-run gadget synthesis with shared chain orderings."""
 
-    name = "tket"
+    name = "synthesize"
 
-    def __init__(
-        self,
-        isa: str = "cnot",
-        topology: Optional[Topology] = None,
-        optimization_level: int = 3,
-        seed: int = 0,
-    ):
-        self.isa = isa
-        self.topology = topology
-        self.optimization_level = optimization_level
-        self.seed = seed
-
-    def compile(self, program) -> CompilationResult:
-        terms = as_terms(program)
-        num_qubits = terms[0].num_qubits
+    def run(self, context: CompileContext) -> None:
+        num_qubits = context.num_qubits
         circuit = QuantumCircuit(num_qubits)
         implemented: List[PauliTerm] = []
-        for run in partition_commuting_runs(terms):
+        for run in partition_commuting_runs(context.terms):
             # One shared qubit ordering per commuting run, so chains align:
             # qubits whose Pauli varies least across the run come first.
             run_support = sorted({q for term in run for q in term.support()})
@@ -83,11 +70,25 @@ class TketLikeCompiler:
                 for gate in sub:
                     circuit.append(gate)
             implemented.extend(ordered)
-        return finalize_compilation(
-            circuit,
-            implemented,
-            isa=self.isa,
-            topology=self.topology,
-            optimization_level=self.optimization_level,
-            seed=self.seed,
+        context.native = circuit
+        context.implemented_terms = implemented
+
+
+class TketLikeCompiler(BaselineCompiler):
+    """Commuting-run gadget synthesis with aggressive peephole optimisation."""
+
+    name = "tket"
+
+    def __init__(self, isa="cnot", topology=None, optimization_level=3, seed=0):
+        super().__init__(
+            isa=isa,
+            topology=topology,
+            optimization_level=optimization_level,
+            seed=seed,
         )
+
+    def synthesis_stage(self):
+        return TketSynthesisStage()
+
+
+register_compiler("tket", TketLikeCompiler)

@@ -1,34 +1,30 @@
 """The PHOENIX compiler facade.
 
-Ties the pipeline together:  grouping -> group-wise BSF simplification ->
-Tetris-like ordering -> emission -> ISA rebase -> optional hardware-aware
-mapping/routing.  The result records the circuit(s), the paper's metrics,
-and the Trotter order of the original Pauli exponentiations the circuit
-actually implements (for equivalence checking and error analysis).
+A thin facade over the stage pipeline of :mod:`repro.pipeline`:  grouping
+-> group-wise BSF simplification -> Tetris-like ordering -> emission ->
+ISA rebase -> peephole optimisation -> SU(4) consolidation -> optional
+hardware-aware mapping/routing.  The result records the circuit(s), the
+paper's metrics, per-stage wall-clock timings, and the Trotter order of
+the original Pauli exponentiations the circuit actually implements (for
+equivalence checking and error analysis).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.emission import groups_to_circuit
-from repro.core.grouping import group_terms
-from repro.core.ordering import order_groups
-from repro.core.simplify import SimplifiedGroup, simplify_group
-from repro.hardware.routing.sabre import RoutedCircuit, route_circuit
+from repro.core.simplify import SimplifiedGroup
+from repro.hardware.routing.sabre import RoutedCircuit
 from repro.hardware.topology import Topology
-from repro.metrics.circuit_metrics import CircuitMetrics, circuit_metrics
-from repro.paulis.hamiltonian import Hamiltonian
+from repro.metrics.circuit_metrics import CircuitMetrics
 from repro.paulis.pauli import PauliTerm
-from repro.synthesis.consolidate import consolidate_su4
-from repro.synthesis.rebase import rebase_to_cx
-from repro.transforms.optimize import optimize_circuit
-
-Program = Union[Hamiltonian, Sequence[PauliTerm]]
+from repro.pipeline.compiler import PipelineCompiler
+from repro.pipeline.options import Program, as_terms  # noqa: F401  (re-export)
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import Pipeline
+from repro.pipeline.stages import backend_stages, frontend_stages
 
 
 @dataclass
@@ -43,6 +39,8 @@ class CompilationResult:
     groups: List[SimplifiedGroup] = field(default_factory=list)
     routed: Optional[RoutedCircuit] = None
     routing_overhead: Optional[float] = None
+    #: Per-stage wall-clock seconds recorded by :meth:`Pipeline.run`.
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cx_count(self) -> int:
@@ -53,7 +51,7 @@ class CompilationResult:
         return self.metrics.depth_2q
 
 
-class PhoenixCompiler:
+class PhoenixCompiler(PipelineCompiler):
     """Compile Hamiltonian-simulation programs with the PHOENIX pipeline.
 
     Parameters
@@ -79,9 +77,11 @@ class PhoenixCompiler:
     cache:
         Optional cache store with ``get(key) -> dict | None`` and
         ``put(key, dict)`` (see :mod:`repro.service.cache`).  When set,
-        :meth:`compile` looks results up under the content-addressed key
-        combining the program fingerprint with :meth:`config_fingerprint`
-        and stores misses after compiling.
+        :meth:`compile` is wrapped by
+        :class:`~repro.pipeline.caching.CachingCompiler`, which looks
+        results up under the content-addressed key combining the program
+        fingerprint with :meth:`config_fingerprint` and stores misses
+        after compiling.
     """
 
     name = "phoenix"
@@ -96,126 +96,32 @@ class PhoenixCompiler:
         cache=None,
         simplify_engine: str = "auto",
     ):
-        if isa not in ("cnot", "su4"):
-            raise ValueError(f"unsupported ISA {isa!r}; expected 'cnot' or 'su4'")
-        if simplify_engine not in ("auto", "fast", "reference"):
-            raise ValueError(
-                f"unsupported simplify engine {simplify_engine!r}; "
-                "expected 'auto', 'fast' or 'reference'"
-            )
-        self.isa = isa
-        self.topology = topology
-        self.lookahead = int(lookahead)
-        self.optimization_level = int(optimization_level)
-        self.seed = int(seed)
-        self.cache = cache
-        self.simplify_engine = simplify_engine
+        super().__init__(
+            isa=isa,
+            topology=topology,
+            optimization_level=optimization_level,
+            seed=seed,
+            lookahead=lookahead,
+            simplify_engine=simplify_engine,
+            cache=cache,
+        )
 
     # ------------------------------------------------------------------
     def config_dict(self) -> Dict[str, Any]:
         """The complete compile-affecting configuration as plain data."""
-        return {
-            "compiler": self.name,
-            "isa": self.isa,
-            "lookahead": self.lookahead,
-            "optimization_level": self.optimization_level,
-            "seed": self.seed,
-            "topology": self.topology.fingerprint() if self.topology is not None else None,
-        }
+        return self.options.config_dict(self.name)
 
     def config_fingerprint(self) -> str:
         """Stable digest of :meth:`config_dict`, used as a cache-key part."""
-        payload = json.dumps(self.config_dict(), sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self.options.config_fingerprint(self.name)
 
     # ------------------------------------------------------------------
-    def _as_terms(self, program: Program) -> List[PauliTerm]:
-        if isinstance(program, Hamiltonian):
-            return program.to_terms()
-        terms = list(program)
-        if not terms:
-            raise ValueError("cannot compile an empty program")
-        return terms
-
-    def _hardware_aware(self) -> bool:
-        return self.topology is not None and not self.topology.is_all_to_all()
-
-    # ------------------------------------------------------------------
-    def compile(self, program: Program) -> CompilationResult:
-        """Run the full PHOENIX pipeline on a program.
-
-        With :attr:`cache` set, a content-addressed lookup runs first and a
-        fresh compilation is stored back on a miss; cached results carry
-        ``groups=[]`` (see :mod:`repro.serialize.results`).
-        """
-        terms = self._as_terms(program)
-        if self.cache is not None:
-            # Imported lazily: repro.serialize depends on this module.
-            from repro.serialize.results import result_from_dict, result_to_dict
-            from repro.service.cache import compilation_cache_key
-
-            key = compilation_cache_key(terms, self.config_fingerprint())
-            cached = self.cache.get(key)
-            if cached is not None:
-                return result_from_dict(cached)
-            result = self._compile_terms(terms)
-            self.cache.put(key, result_to_dict(result))
-            return result
-        return self._compile_terms(terms)
-
-    def _compile_terms(self, terms: List[PauliTerm]) -> CompilationResult:
-        num_qubits = terms[0].num_qubits
-
-        groups = group_terms(terms)
-        simplified = [
-            simplify_group(group, engine=self.simplify_engine) for group in groups
-        ]
-        ordered = order_groups(
-            simplified,
-            num_qubits,
-            lookahead=self.lookahead,
-            routing_aware=self._hardware_aware(),
+    def build_pipeline(self) -> Pipeline:
+        """group -> simplify -> order -> emit -> rebase -> optimize ->
+        consolidate (from the native circuit) -> route."""
+        return Pipeline(
+            frontend_stages() + backend_stages(consolidate_source="native")
         )
-        native = groups_to_circuit(ordered, num_qubits)
-        implemented_terms: List[PauliTerm] = []
-        for group in ordered:
-            implemented_terms.extend(group.implemented_terms())
 
-        logical_cx = rebase_to_cx(native)
-        logical_cx = optimize_circuit(logical_cx, level=self.optimization_level)
 
-        if self.isa == "su4":
-            logical = consolidate_su4(native)
-        else:
-            logical = logical_cx
-        logical_metrics = circuit_metrics(logical)
-
-        routed: Optional[RoutedCircuit] = None
-        routing_overhead: Optional[float] = None
-        final_circuit = logical
-        final_metrics = logical_metrics
-        if self._hardware_aware():
-            routed = route_circuit(
-                logical_cx, self.topology, seed=self.seed, decompose_swaps=False
-            )
-            hardware_circuit = rebase_to_cx(routed.circuit)
-            hardware_circuit = optimize_circuit(hardware_circuit, level=self.optimization_level)
-            if self.isa == "su4":
-                hardware_circuit = consolidate_su4(hardware_circuit)
-            final_circuit = hardware_circuit
-            final_metrics = replace(
-                circuit_metrics(hardware_circuit), swap_count=routed.swap_count
-            )
-            logical_cx_count = max(1, circuit_metrics(logical_cx).cx_count)
-            routing_overhead = final_metrics.cx_count / logical_cx_count if self.isa == "cnot" else None
-
-        return CompilationResult(
-            circuit=final_circuit,
-            logical_circuit=logical,
-            metrics=final_metrics,
-            logical_metrics=logical_metrics,
-            implemented_terms=implemented_terms,
-            groups=ordered,
-            routed=routed,
-            routing_overhead=routing_overhead,
-        )
+register_compiler("phoenix", PhoenixCompiler)

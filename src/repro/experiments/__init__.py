@@ -7,6 +7,7 @@ from repro.experiments.harness import (
     run_suite,
     format_table,
     geometric_mean_rates,
+    stage_timing_table,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "run_suite",
     "format_table",
     "geometric_mean_rates",
+    "stage_timing_table",
 ]

@@ -11,17 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.baselines import (
-    NaiveCompiler,
-    PaulihedralCompiler,
-    TetrisCompiler,
-    TketLikeCompiler,
-)
-from repro.core.compiler import CompilationResult, PhoenixCompiler
+from repro.core.compiler import CompilationResult
 from repro.hardware.topology import Topology
 from repro.metrics.circuit_metrics import optimization_rate
 from repro.paulis.pauli import PauliTerm
+from repro.pipeline.registry import get_compiler_factory
 from repro.utils.maths import geometric_mean
+
+#: The paper's main-evaluation line-up, resolved from the global registry.
+DEFAULT_LINEUP = ("paulihedral", "tetris", "tket", "phoenix")
 
 
 @dataclass(frozen=True)
@@ -38,16 +36,14 @@ class CompilerSpec:
 
 
 def default_compilers(include_naive: bool = False) -> List[CompilerSpec]:
-    """The compiler line-up of the paper's main evaluation."""
-    specs = [
-        CompilerSpec("paulihedral", PaulihedralCompiler),
-        CompilerSpec("tetris", TetrisCompiler),
-        CompilerSpec("tket", TketLikeCompiler),
-        CompilerSpec("phoenix", PhoenixCompiler),
-    ]
-    if include_naive:
-        specs.insert(0, CompilerSpec("naive", NaiveCompiler))
-    return specs
+    """The compiler line-up of the paper's main evaluation.
+
+    Factories are resolved from the global registry of
+    :mod:`repro.pipeline.registry` — the harness keeps no compiler table of
+    its own.
+    """
+    names = (("naive",) if include_naive else ()) + DEFAULT_LINEUP
+    return [CompilerSpec(name, get_compiler_factory(name)) for name in names]
 
 
 def _service_options(
@@ -172,6 +168,30 @@ def geometric_mean_rates(
                 optimization_rate(value, reference)
             )
     return {name: geometric_mean(rates) for name, rates in per_compiler.items()}
+
+
+def stage_timing_table(results: Dict[str, CompilationResult]) -> str:
+    """Per-stage wall-clock table (seconds) for one benchmark's results.
+
+    ``results`` maps compiler name to its :class:`CompilationResult`; rows
+    are the union of stage names in first-appearance order, so pipelines
+    with different front ends (``group/simplify/order/emit`` vs
+    ``synthesize``) share one table.
+    """
+    names = list(results)
+    stages: List[str] = []
+    for result in results.values():
+        for stage in result.stage_timings:
+            if stage not in stages:
+                stages.append(stage)
+    rows = []
+    for stage in stages:
+        row: List[object] = [stage]
+        for name in names:
+            timing = results[name].stage_timings.get(stage)
+            row.append("-" if timing is None else f"{timing:.4f}")
+        rows.append(row)
+    return format_table(rows, headers=["stage"] + names)
 
 
 def format_table(rows: Iterable[Sequence[object]], headers: Sequence[str]) -> str:

@@ -1,0 +1,65 @@
+"""Content-addressed caching as a pipeline wrapper.
+
+:class:`CachingCompiler` wraps any compiler that exposes
+``compile_terms(terms)`` and ``config_fingerprint()`` (every
+:class:`~repro.pipeline.compiler.PipelineCompiler` provides the former;
+PHOENIX provides the latter) and serves compilations from a
+``get(key) -> dict | None`` / ``put(key, dict)`` store under the
+content-addressed key combining the program fingerprint with the config
+fingerprint.  This replaces the inline cache branch the old
+``PhoenixCompiler.compile`` carried.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.paulis.pauli import PauliTerm
+from repro.pipeline.options import Program, as_terms
+from repro.pipeline.stage import PipelineHook
+
+
+class CachingCompiler:
+    """Serve a wrapped compiler's results from a content-addressed store.
+
+    ``canonical=False`` keys the exact term sequence instead of the
+    canonical BSF ordering; use it for compilers whose output contract
+    depends on the input Trotter order (e.g. the naive baseline).
+    """
+
+    def __init__(self, compiler, cache, canonical: bool = True):
+        if not hasattr(compiler, "config_fingerprint"):
+            raise TypeError(
+                f"{type(compiler).__name__} has no config_fingerprint(); "
+                "CachingCompiler needs one to derive content-addressed keys"
+            )
+        self.compiler = compiler
+        self.cache = cache
+        self.canonical = canonical
+
+    @property
+    def name(self) -> str:
+        return getattr(self.compiler, "name", type(self.compiler).__name__)
+
+    def config_fingerprint(self) -> str:
+        return self.compiler.config_fingerprint()
+
+    def cache_key(self, terms: List[PauliTerm]) -> str:
+        from repro.service.cache import compilation_cache_key
+
+        return compilation_cache_key(
+            terms, self.config_fingerprint(), canonical=self.canonical
+        )
+
+    def compile(self, program: Program, hooks: Sequence[PipelineHook] = ()):
+        # Imported lazily: repro.serialize depends on the compiler modules.
+        from repro.serialize.results import result_from_dict, result_to_dict
+
+        terms = as_terms(program)
+        key = self.cache_key(terms)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return result_from_dict(cached)
+        result = self.compiler.compile_terms(terms, hooks=hooks)
+        self.cache.put(key, result_to_dict(result))
+        return result

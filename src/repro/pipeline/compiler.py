@@ -1,0 +1,172 @@
+"""The stage-pipeline compiler base class.
+
+A :class:`PipelineCompiler` is a thin facade over a :class:`Pipeline`: the
+constructor freezes the configuration into one
+:class:`~repro.pipeline.options.CompileOptions`, :meth:`build_pipeline`
+names the stages, and :meth:`compile` threads a
+:class:`~repro.pipeline.stage.CompileContext` through them.  PHOENIX and
+every baseline subclass this and differ only in the stages they compose.
+
+Content-addressed caching is *not* part of the pipeline: a compiler built
+with ``cache=...`` is transparently wrapped by
+:class:`~repro.pipeline.caching.CachingCompiler` at :meth:`compile` time.
+
+Note on fingerprints: the base class deliberately does **not** define
+``config_fingerprint``.  The service's ``CompilerOptions.fingerprint()``
+hashes its own plain-data spec for compilers without one, and that is
+exactly how baseline cache keys were derived before the redesign — adding
+a fingerprint here would silently invalidate every existing baseline cache
+entry.  PHOENIX overrides it (its extra pipeline knobs must key the cache).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import List, Optional, Sequence
+
+from repro.hardware.topology import Topology
+from repro.paulis.pauli import PauliTerm
+from repro.pipeline.options import CompileOptions, Program, as_terms
+from repro.pipeline.stage import CompileContext, Pipeline, PipelineHook
+
+
+class PipelineCompiler:
+    """Base class for compilers expressed as stage pipelines."""
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        isa: str = "cnot",
+        topology: Optional[Topology] = None,
+        optimization_level: int = 2,
+        seed: int = 0,
+        lookahead: int = 10,
+        simplify_engine: str = "auto",
+        cache=None,
+    ):
+        self.options = CompileOptions(
+            isa=isa,
+            topology=topology,
+            optimization_level=optimization_level,
+            lookahead=lookahead,
+            seed=seed,
+            simplify_engine=simplify_engine,
+        )
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_options(cls, options: CompileOptions, cache=None) -> "PipelineCompiler":
+        """Instantiate from one :class:`CompileOptions` value.
+
+        Only the options the subclass constructor actually accepts are
+        passed (the baselines take no ``lookahead`` / ``simplify_engine``),
+        so registered third-party compilers with narrower signatures work.
+        """
+        parameters = inspect.signature(cls.__init__).parameters
+        accepted = set(parameters)
+        if any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        ):
+            # A **kwargs constructor gets only the four core knobs; the
+            # pipeline-specific ones stay at whatever defaults the subclass
+            # chose (e.g. a `kwargs.setdefault("lookahead", 3)` override
+            # must not be clobbered by CompileOptions defaults).
+            accepted |= {"isa", "topology", "optimization_level", "seed"}
+        candidate = {
+            "isa": options.isa,
+            "topology": options.topology,
+            "optimization_level": options.optimization_level,
+            "seed": options.seed,
+            "lookahead": options.lookahead,
+            "simplify_engine": options.simplify_engine,
+        }
+        kwargs = {key: value for key, value in candidate.items() if key in accepted}
+        if cache is not None and "cache" in accepted:
+            kwargs["cache"] = cache
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Read/write views of the frozen options, for source compatibility with
+    # the pre-pipeline compilers' plain attributes.
+    @property
+    def isa(self) -> str:
+        return self.options.isa
+
+    @isa.setter
+    def isa(self, value: str) -> None:
+        self.options = self.options.replace(isa=value)
+
+    @property
+    def topology(self) -> Optional[Topology]:
+        return self.options.topology
+
+    @topology.setter
+    def topology(self, value: Optional[Topology]) -> None:
+        self.options = self.options.replace(topology=value)
+
+    @property
+    def optimization_level(self) -> int:
+        return self.options.optimization_level
+
+    @optimization_level.setter
+    def optimization_level(self, value: int) -> None:
+        self.options = self.options.replace(optimization_level=value)
+
+    @property
+    def lookahead(self) -> int:
+        return self.options.lookahead
+
+    @lookahead.setter
+    def lookahead(self, value: int) -> None:
+        self.options = self.options.replace(lookahead=value)
+
+    @property
+    def seed(self) -> int:
+        return self.options.seed
+
+    @seed.setter
+    def seed(self, value: int) -> None:
+        self.options = self.options.replace(seed=value)
+
+    @property
+    def simplify_engine(self) -> str:
+        return self.options.simplify_engine
+
+    @simplify_engine.setter
+    def simplify_engine(self, value: str) -> None:
+        self.options = self.options.replace(simplify_engine=value)
+
+    # ------------------------------------------------------------------
+    def build_pipeline(self) -> Pipeline:
+        """The stage pipeline this compiler runs; subclasses compose it."""
+        raise NotImplementedError
+
+    def compile(self, program: Program, hooks: Sequence[PipelineHook] = ()):
+        """Compile a program through the stage pipeline.
+
+        With :attr:`cache` set, a content-addressed lookup runs first and a
+        fresh compilation is stored back on a miss; cached results carry
+        ``groups=[]`` (see :mod:`repro.serialize.results`).
+        """
+        terms = as_terms(program)
+        if self.cache is not None:
+            from repro.pipeline.caching import CachingCompiler
+
+            return CachingCompiler(self, self.cache).compile(terms, hooks=hooks)
+        return self.compile_terms(terms, hooks=hooks)
+
+    def compile_terms(
+        self, terms: List[PauliTerm], hooks: Sequence[PipelineHook] = ()
+    ):
+        """Run the pipeline on an already-normalised term list (no cache)."""
+        context = CompileContext(
+            options=self.options, terms=list(terms), num_qubits=terms[0].num_qubits
+        )
+        self.build_pipeline().run(context, hooks=hooks)
+        return context.result()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(options={self.options!r})"

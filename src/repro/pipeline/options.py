@@ -1,0 +1,122 @@
+"""The single source of truth for compile-affecting configuration.
+
+:class:`CompileOptions` replaces the per-layer re-declarations of the same
+knobs (compiler constructor arguments, ``CompilerSpec`` build parameters,
+``CompilerOptions`` scalar fields, CLI flags).  Its
+:meth:`~CompileOptions.config_dict` / :meth:`~CompileOptions.config_fingerprint`
+are byte-identical to the pre-pipeline ``PhoenixCompiler`` implementations,
+so content-addressed cache entries written before the redesign stay valid.
+
+:func:`as_terms` is the one program normaliser (Hamiltonian or term
+sequence -> term list) shared by the compilers, the baselines, and the
+service's job handling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.hardware.topology import Topology
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliTerm
+
+#: Anything the compilers accept as a program.
+Program = Union[Hamiltonian, Sequence[PauliTerm]]
+
+ISAS = ("cnot", "su4")
+SIMPLIFY_ENGINES = ("auto", "fast", "reference")
+
+
+def as_terms(program: Program, allow_empty: bool = False) -> List[PauliTerm]:
+    """Normalise a program (Hamiltonian or term sequence) into a term list.
+
+    Raises ``ValueError`` for an empty term sequence unless ``allow_empty``
+    is set (the service keeps empty programs around long enough to fail
+    them per job instead of poisoning a batch).
+    """
+    if isinstance(program, Hamiltonian):
+        return program.to_terms()
+    terms = list(program)
+    if not terms and not allow_empty:
+        raise ValueError("cannot compile an empty program")
+    return terms
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every compile-affecting knob of the stage pipeline, as one value.
+
+    Parameters
+    ----------
+    isa:
+        ``"cnot"`` for the {CNOT, U3} ISA or ``"su4"`` for the continuous
+        SU(4) ISA.
+    topology:
+        ``None`` (or an all-to-all topology) compiles at the logical level;
+        anything else turns on hardware-aware mapping/routing.
+    optimization_level:
+        Peephole level 0-3 applied by the ``optimize`` stage.
+    lookahead:
+        Look-ahead window of the Tetris-like ``order`` stage.
+    seed:
+        Routing seed of the ``route`` stage.
+    simplify_engine:
+        Candidate scorer of the Clifford2Q search used by the ``simplify``
+        stage: ``"fast"``, ``"reference"``, or ``"auto"``.
+    """
+
+    isa: str = "cnot"
+    topology: Optional[Topology] = None
+    optimization_level: int = 2
+    lookahead: int = 10
+    seed: int = 0
+    simplify_engine: str = "auto"
+
+    def __post_init__(self):
+        if self.isa not in ISAS:
+            raise ValueError(
+                f"unsupported ISA {self.isa!r}; expected 'cnot' or 'su4'"
+            )
+        if self.simplify_engine not in SIMPLIFY_ENGINES:
+            raise ValueError(
+                f"unsupported simplify engine {self.simplify_engine!r}; "
+                "expected 'auto', 'fast' or 'reference'"
+            )
+        object.__setattr__(self, "optimization_level", int(self.optimization_level))
+        object.__setattr__(self, "lookahead", int(self.lookahead))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    # ------------------------------------------------------------------
+    @property
+    def hardware_aware(self) -> bool:
+        """Whether mapping/routing runs (a real, non-complete topology)."""
+        return self.topology is not None and not self.topology.is_all_to_all()
+
+    def replace(self, **changes: Any) -> "CompileOptions":
+        """A copy with the given fields changed (options are frozen)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def config_dict(self, compiler: str = "phoenix") -> Dict[str, Any]:
+        """The complete compile-affecting configuration as plain data.
+
+        Byte-identical to the pre-pipeline ``PhoenixCompiler.config_dict``
+        (``simplify_engine`` is deliberately excluded: both engines produce
+        bit-identical circuits, so it must not split cache entries).
+        """
+        return {
+            "compiler": compiler,
+            "isa": self.isa,
+            "lookahead": self.lookahead,
+            "optimization_level": self.optimization_level,
+            "seed": self.seed,
+            "topology": self.topology.fingerprint() if self.topology is not None else None,
+        }
+
+    def config_fingerprint(self, compiler: str = "phoenix") -> str:
+        """Stable digest of :meth:`config_dict`, used as a cache-key part."""
+        payload = json.dumps(self.config_dict(compiler), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

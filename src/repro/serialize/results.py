@@ -2,8 +2,9 @@
 
 A serialized :class:`~repro.core.compiler.CompilationResult` carries the
 final and logical circuits, both metric snapshots, the implemented Trotter
-order, the routing payload (when hardware-aware compilation ran), and the
-routing-overhead multiple.  The ``groups`` field (the nested Clifford
+order, the routing payload (when hardware-aware compilation ran), the
+routing-overhead multiple, and the per-stage wall-clock timings recorded
+by the pipeline runner.  The ``groups`` field (the nested Clifford
 conjugation structure) is intentionally not serialized: it is an internal
 artefact of the PHOENIX pipeline that is only consumed in-process, and the
 implemented term order — which *is* serialized — suffices for equivalence
@@ -116,6 +117,9 @@ def result_to_dict(result: CompilationResult) -> Dict[str, Any]:
         "logical_metrics": metrics_to_dict(result.logical_metrics),
         "implemented_terms": terms_to_dict(result.implemented_terms),
         "routing_overhead": result.routing_overhead,
+        "stage_timings": {
+            name: float(seconds) for name, seconds in result.stage_timings.items()
+        },
     }
     if result.routed is not None:
         payload["routed"] = _routed_to_dict(result.routed)
@@ -138,6 +142,10 @@ def result_from_dict(data: Dict[str, Any]) -> CompilationResult:
         groups=[],
         routed=routed,
         routing_overhead=float(overhead) if overhead is not None else None,
+        stage_timings={
+            name: float(seconds)
+            for name, seconds in data.get("stage_timings", {}).items()
+        },
     )
 
 

@@ -67,7 +67,9 @@ def _job_summary(job_result: JobResult) -> Dict[str, Any]:
         "key": job_result.key,
     }
     if job_result.ok:
-        summary["metrics"] = result_to_dict(job_result.result)["metrics"]
+        payload = result_to_dict(job_result.result)
+        summary["metrics"] = payload["metrics"]
+        summary["stage_timings"] = payload["stage_timings"]
     else:
         summary["error"] = job_result.error
     return summary
@@ -117,6 +119,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         lines += [f"{k}: {v}" for k, v in result.metrics.as_dict().items()]
         if result.routing_overhead is not None:
             lines.append(f"routing_overhead: {result.routing_overhead:.3f}")
+        for stage, seconds in result.stage_timings.items():
+            lines.append(f"stage.{stage}: {seconds:.4f}s")
         _emit("\n".join(lines) + "\n", args.output)
     return 0
 

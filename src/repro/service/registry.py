@@ -1,10 +1,12 @@
-"""Named compiler and topology specs for the compilation service.
+"""Plain-data compiler and topology specs for the compilation service.
 
 Batch jobs cross process boundaries, so a job cannot carry a live compiler
 object; instead it carries a :class:`CompilerOptions` — plain data naming a
 registered compiler, a registered topology, and scalar options — that each
-worker resolves locally with :func:`build_compiler`.  The same specs back
-the ``phoenix`` CLI's ``--compiler`` / ``--topology`` flags.
+worker resolves locally against the **global** compiler registry of
+:mod:`repro.pipeline.registry` (this module keeps no table of its own).
+The same registry backs the ``phoenix`` CLI's ``--compiler`` /
+``--topology`` flags and the harness's default line-up.
 """
 
 from __future__ import annotations
@@ -13,36 +15,27 @@ import hashlib
 import json
 import re
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict, Optional
 
-from repro.baselines import (
-    NaiveCompiler,
-    PaulihedralCompiler,
-    TetrisCompiler,
-    TketLikeCompiler,
-)
-from repro.core.compiler import PhoenixCompiler
 from repro.hardware.topology import Topology
+from repro.pipeline.options import CompileOptions, ISAS
+from repro.pipeline.registry import (
+    COMPILERS,
+    ORDER_SENSITIVE_COMPILERS,
+    build_compiler,
+    compiler_names,
+    is_order_sensitive,
+    registered_compilers,
+)
 
-#: name -> compiler factory accepting (isa, topology, optimization_level, seed).
-COMPILERS: Dict[str, Callable[..., object]] = {
-    "phoenix": PhoenixCompiler,
-    "naive": NaiveCompiler,
-    "paulihedral": PaulihedralCompiler,
-    "tetris": TetrisCompiler,
-    "tket": TketLikeCompiler,
-}
-
-
-#: Compilers whose output implements the *given* term order verbatim; their
-#: cache keys must use the order-sensitive program fingerprint.  Every other
-#: registered compiler chooses its own Trotter ordering (that reordering is
-#: the optimisation), so reordered inputs may share a cache entry.
-ORDER_SENSITIVE_COMPILERS = frozenset({"naive"})
-
-
-def compiler_names() -> list[str]:
-    return sorted(COMPILERS)
+__all__ = [
+    "COMPILERS",
+    "ORDER_SENSITIVE_COMPILERS",
+    "CompilerOptions",
+    "compiler_names",
+    "resolve_topology",
+    "topology_to_spec",
+]
 
 
 def resolve_topology(spec: Optional[str]) -> Optional[Topology]:
@@ -102,18 +95,18 @@ class CompilerOptions:
     seed: int = 0
 
     def __post_init__(self):
-        if self.compiler not in COMPILERS:
+        if self.compiler not in registered_compilers():
             raise ValueError(
                 f"unknown compiler {self.compiler!r}; expected one of {compiler_names()}"
             )
-        if self.isa not in ("cnot", "su4"):
+        if self.isa not in ISAS:
             raise ValueError(f"unsupported ISA {self.isa!r}; expected 'cnot' or 'su4'")
         resolve_topology(self.topology)  # validate eagerly
 
     @property
     def order_sensitive(self) -> bool:
         """Whether cache keys must preserve the input term order."""
-        return self.compiler in ORDER_SENSITIVE_COMPILERS
+        return is_order_sensitive(self.compiler)
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -126,6 +119,15 @@ class CompilerOptions:
             topology=data.get("topology"),
             optimization_level=int(data.get("optimization_level", 2)),
             seed=int(data.get("seed", 0)),
+        )
+
+    def to_compile_options(self) -> CompileOptions:
+        """The resolved :class:`CompileOptions` this spec describes."""
+        return CompileOptions(
+            isa=self.isa,
+            topology=resolve_topology(self.topology),
+            optimization_level=self.optimization_level,
+            seed=self.seed,
         )
 
     def fingerprint(self) -> str:
@@ -143,11 +145,5 @@ class CompilerOptions:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def build(self):
-        """Instantiate the configured compiler."""
-        factory = COMPILERS[self.compiler]
-        return factory(
-            isa=self.isa,
-            topology=resolve_topology(self.topology),
-            optimization_level=self.optimization_level,
-            seed=self.seed,
-        )
+        """Instantiate the configured compiler from the global registry."""
+        return build_compiler(self.compiler, self.to_compile_options())

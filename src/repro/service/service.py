@@ -27,8 +27,8 @@ from typing import Any, Dict, List, Optional, Sequence
 import multiprocessing
 
 from repro.core.compiler import CompilationResult
-from repro.paulis.hamiltonian import Hamiltonian
 from repro.paulis.pauli import PauliTerm
+from repro.pipeline.options import as_terms
 from repro.serialize.results import result_from_dict, result_to_dict, terms_from_dict, terms_to_dict
 from repro.service.cache import CacheStore, MemoryCacheStore, compilation_cache_key
 from repro.service.registry import CompilerOptions
@@ -43,9 +43,9 @@ class CompilationJob:
     options: CompilerOptions = field(default_factory=CompilerOptions)
 
     def terms(self) -> List[PauliTerm]:
-        if isinstance(self.program, Hamiltonian):
-            return self.program.to_terms()
-        return list(self.program)
+        # allow_empty: an empty program must fail *per job* at fingerprint
+        # time, not poison batch assembly.
+        return as_terms(self.program, allow_empty=True)
 
 
 @dataclass

@@ -22,9 +22,14 @@ class CircuitPass:
 class PassManager:
     """Applies a sequence of passes, optionally iterating to a fixpoint.
 
-    The fixpoint criterion is the (gate count, 2Q count) signature: a round
-    that does not reduce either stops the iteration.  ``max_iterations``
-    bounds the loop for safety.
+    The fixpoint criterion compares the (gate count, 2Q count) signature
+    component-wise: iteration continues only while a round strictly
+    reduces at least one count without growing the other.  (A lexicographic
+    tuple comparison would keep iterating on rounds that trade one count
+    against the other — e.g. trimming a 2Q gate while adding several 1Q
+    gates — and oscillating pass combinations could then burn the whole
+    iteration budget without converging.)  ``max_iterations`` bounds the
+    loop for safety.
     """
 
     def __init__(self, passes: Sequence[CircuitPass], iterate: bool = True, max_iterations: int = 10):
@@ -39,7 +44,10 @@ class PassManager:
             for pass_ in self.passes:
                 current = pass_.run(current)
             new_signature = (len(current), current.count_2q())
-            if not self.iterate or new_signature >= signature:
+            improved = new_signature != signature and all(
+                new <= old for new, old in zip(new_signature, signature)
+            )
+            if not self.iterate or not improved:
                 break
         return current
 

@@ -1,0 +1,11 @@
+"""Fixtures for the pipeline test suite."""
+
+import pytest
+
+from repro.chemistry.uccsd import uccsd_ansatz
+
+
+@pytest.fixture(scope="module")
+def uccsd_program():
+    """A small UCCSD instance (2 electrons in 4 spin orbitals, JW)."""
+    return uccsd_ansatz(2, 4, encoding="jw", seed=1)

@@ -1,0 +1,132 @@
+"""Tests for CompileOptions and the shared program normaliser."""
+
+import pytest
+
+from repro.hardware.topology import Topology
+from repro.paulis.hamiltonian import Hamiltonian
+from repro.paulis.pauli import PauliTerm
+from repro.pipeline.options import CompileOptions, as_terms
+
+
+class TestAsTerms:
+    def test_hamiltonian_is_expanded(self):
+        ham = Hamiltonian.from_labels([("XX", 0.5), ("ZZ", -0.25)])
+        terms = as_terms(ham)
+        assert [t.to_label() for t in terms] == ["XX", "ZZ"]
+
+    def test_sequence_is_copied(self, tiny_program):
+        terms = as_terms(tiny_program)
+        assert terms == list(tiny_program)
+        assert terms is not tiny_program
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="empty program"):
+            as_terms([])
+
+    def test_allow_empty_for_deferred_failure(self):
+        assert as_terms([], allow_empty=True) == []
+
+    def test_single_normaliser_is_shared(self):
+        # The three layers that used to re-implement the coercion all
+        # resolve to the one repro.pipeline implementation.
+        from repro.baselines import base as baselines_base
+        from repro.core import compiler as core_compiler
+        from repro.pipeline import options as pipeline_options
+
+        assert baselines_base.as_terms is pipeline_options.as_terms
+        assert core_compiler.as_terms is pipeline_options.as_terms
+
+
+class TestCompileOptionsValidation:
+    def test_defaults(self):
+        options = CompileOptions()
+        assert options.isa == "cnot"
+        assert options.topology is None
+        assert options.optimization_level == 2
+        assert options.lookahead == 10
+        assert options.seed == 0
+        assert options.simplify_engine == "auto"
+        assert not options.hardware_aware
+
+    def test_invalid_isa_rejected(self):
+        with pytest.raises(ValueError, match="unsupported ISA"):
+            CompileOptions(isa="xy")
+
+    def test_invalid_simplify_engine_rejected(self):
+        with pytest.raises(ValueError, match="unsupported simplify engine"):
+            CompileOptions(simplify_engine="magic")
+
+    def test_scalars_coerced_to_int(self):
+        options = CompileOptions(optimization_level="3", lookahead="5", seed="1")
+        assert (options.optimization_level, options.lookahead, options.seed) == (3, 5, 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CompileOptions().isa = "su4"
+
+    def test_replace(self):
+        base = CompileOptions()
+        su4 = base.replace(isa="su4")
+        assert su4.isa == "su4" and base.isa == "cnot"
+
+    def test_hardware_aware_needs_a_real_topology(self):
+        assert CompileOptions(topology=Topology.line(4)).hardware_aware
+        assert not CompileOptions(topology=Topology.all_to_all(4)).hardware_aware
+
+
+class TestConfigFingerprint:
+    """Guard rails against cache-key drift (satellite: pinned goldens)."""
+
+    # Pinned from the pre-pipeline PhoenixCompiler.config_fingerprint():
+    # any change here silently invalidates every existing cache.
+    GOLDEN_PHOENIX_DEFAULT = (
+        "5a2b8242075da6c2373eb5f239ed8819e26a619f0b3bbd2dba19e2c411941a43"
+    )
+    GOLDEN_PHOENIX_SU4_LINE4 = (
+        "88ce57cb0ba3fa859edbf16b8cf7b2030e767d4b1300892cc423bc35ebb558b6"
+    )
+
+    def test_default_fingerprint_matches_pinned_golden(self):
+        assert CompileOptions().config_fingerprint() == self.GOLDEN_PHOENIX_DEFAULT
+
+    def test_variant_fingerprint_matches_pinned_golden(self):
+        options = CompileOptions(isa="su4", topology=Topology.line(4))
+        assert options.config_fingerprint() == self.GOLDEN_PHOENIX_SU4_LINE4
+
+    def test_facade_delegates_to_options(self):
+        from repro.core.compiler import PhoenixCompiler
+
+        assert (
+            PhoenixCompiler().config_fingerprint() == self.GOLDEN_PHOENIX_DEFAULT
+        )
+        assert PhoenixCompiler().config_dict() == CompileOptions().config_dict(
+            "phoenix"
+        )
+
+    def test_config_dict_shape(self):
+        config = CompileOptions().config_dict()
+        assert config == {
+            "compiler": "phoenix",
+            "isa": "cnot",
+            "lookahead": 10,
+            "optimization_level": 2,
+            "seed": 0,
+            "topology": None,
+        }
+
+    def test_simplify_engine_must_not_split_cache_entries(self):
+        fast = CompileOptions(simplify_engine="fast")
+        reference = CompileOptions(simplify_engine="reference")
+        assert fast.config_fingerprint() == reference.config_fingerprint()
+
+    def test_every_compile_affecting_knob_changes_the_digest(self):
+        base = CompileOptions().config_fingerprint()
+        variants = [
+            CompileOptions(isa="su4"),
+            CompileOptions(optimization_level=3),
+            CompileOptions(lookahead=5),
+            CompileOptions(seed=1),
+            CompileOptions(topology=Topology.line(4)),
+        ]
+        digests = {base} | {v.config_fingerprint() for v in variants}
+        assert len(digests) == len(variants) + 1

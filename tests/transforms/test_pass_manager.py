@@ -1,0 +1,79 @@
+"""Regression tests for the PassManager fixpoint criterion.
+
+The criterion must be component-wise on the (gate count, 2Q count)
+signature: keep iterating only while a round strictly drops at least one
+count and grows neither.  A lexicographic tuple comparison wrongly treats
+a round that trades the expensive count up (fewer gates overall, but more
+2Q gates) as progress and keeps iterating on it.
+"""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.transforms.pass_manager import CircuitPass, PassManager
+
+
+def _circuit(num_1q: int, num_2q: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(2)
+    for _ in range(num_1q):
+        circuit.h(0)
+    for _ in range(num_2q):
+        circuit.cx(0, 1)
+    return circuit
+
+
+class TestComponentWiseFixpoint:
+    def test_trading_2q_up_is_not_progress(self):
+        # Each round removes two 1Q gates but adds a 2Q gate: the total
+        # shrinks (lexicographically "progress") while the expensive count
+        # grows.  The manager must stop after one round instead of burning
+        # the whole iteration budget.
+        rounds = []
+
+        def trade(circuit):
+            rounds.append(1)
+            return _circuit(
+                max(0, len(circuit) - circuit.count_2q() - 2),
+                circuit.count_2q() + 1,
+            )
+
+        manager = PassManager([CircuitPass("trade", trade)], max_iterations=10)
+        manager.run(_circuit(num_1q=8, num_2q=0))
+        assert len(rounds) == 1
+
+    def test_trading_gates_up_is_not_progress(self):
+        # The mirror trade: one fewer 2Q gate at the price of extra 1Q
+        # gates.  No count-profile improvement either way -> one round.
+        rounds = []
+
+        def trade(circuit):
+            rounds.append(1)
+            num_2q = max(0, circuit.count_2q() - 1)
+            num_1q = len(circuit) - circuit.count_2q() + 3
+            return _circuit(num_1q, num_2q)
+
+        manager = PassManager([CircuitPass("trade", trade)], max_iterations=10)
+        manager.run(_circuit(num_1q=0, num_2q=5))
+        assert len(rounds) == 1
+
+    def test_strict_drop_in_one_count_keeps_iterating(self):
+        # Dropping a 2Q gate per round (1Q count unchanged) is genuine
+        # progress; iteration continues to the empty-of-2Q fixpoint.
+        def drop_2q(circuit):
+            return _circuit(
+                len(circuit) - circuit.count_2q(), max(0, circuit.count_2q() - 1)
+            )
+
+        manager = PassManager([CircuitPass("drop", drop_2q)], max_iterations=10)
+        result = manager.run(_circuit(num_1q=3, num_2q=4))
+        assert result.count_2q() == 0
+        assert len(result) == 3
+
+    def test_unchanged_signature_stops(self):
+        rounds = []
+
+        def identity(circuit):
+            rounds.append(1)
+            return circuit
+
+        manager = PassManager([CircuitPass("id", identity)], max_iterations=10)
+        manager.run(_circuit(num_1q=2, num_2q=2))
+        assert len(rounds) == 1
