@@ -6,6 +6,14 @@ molecules, one QAOA size per family) so the whole harness finishes in a few
 minutes on a laptop; set ``REPRO_FULL_SUITE=1`` to run the paper's complete
 benchmark lists.
 
+Every benchmark module carries the ``slow`` marker (registered in
+``pyproject.toml``, alongside ``perf`` for wall-clock comparisons and
+``fuzz`` for the seeded randomized suites), so a fast deterministic tier-1
+loop is one flag away: ``pytest -m 'not slow'``.  Determinism is a hard
+rule here: all randomized inputs must derive from explicit seeds
+(``np.random.default_rng(<seed>)``), never from the bare ``np.random.*``
+global state, so that reruns and selections are order-independent.
+
 The printed rows (and the ``benchmarks/results/*.txt`` files written as a
 side effect) are the reproduction counterpart of the paper's tables; see
 EXPERIMENTS.md for the recorded paper-vs-measured comparison.

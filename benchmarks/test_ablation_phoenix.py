@@ -19,6 +19,10 @@ from repro.metrics.circuit_metrics import circuit_metrics
 from repro.synthesis.rebase import rebase_to_cx
 from repro.transforms.optimize import optimize_circuit
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def _weight_only_cost(bsf):
     """Ablated cost: just the total weight (no pairwise-overlap terms)."""

@@ -16,6 +16,8 @@ from repro.experiments import format_table
 from repro.metrics.circuit_metrics import optimization_rate
 from repro.utils.maths import geometric_mean
 
+pytestmark = pytest.mark.slow
+
 COMPILERS = [
     ("paulihedral", PaulihedralCompiler, 2),
     ("paulihedral+O3", PaulihedralCompiler, 3),

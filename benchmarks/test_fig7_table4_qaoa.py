@@ -12,6 +12,10 @@ from repro.core.compiler import PhoenixCompiler
 from repro.experiments import format_table
 from repro.qaoa import qaoa_benchmark_program
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig7_table4_qaoa(benchmark, heavy_hex_topology):
     programs = {name: qaoa_benchmark_program(name) for name in qaoa_selection()}

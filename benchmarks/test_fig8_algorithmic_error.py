@@ -20,6 +20,8 @@ from repro.simulation import exact_evolution_unitary, unitary_infidelity
 from repro.simulation.unitary import circuit_unitary
 from repro.synthesis.consolidate import consolidate_su4
 
+pytestmark = pytest.mark.slow
+
 BENCHMARKS = ["LiH_frz_BK", "LiH_frz_JW"] + (["NH_frz_BK", "NH_frz_JW"] if FULL_SUITE else [])
 DURATIONS = (0.6, 1.0, 1.4, 1.8) if FULL_SUITE else (0.6, 1.2, 1.8)
 

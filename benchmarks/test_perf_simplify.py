@@ -26,6 +26,10 @@ from repro.core.grouping import group_terms
 from repro.core.simplify import simplify_group
 from repro.experiments import format_table
 
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.perf]
+
 #: Perf-smoke gate.  The smoke molecules measure ~11-13x over the
 #: reference engine, so a floor of 5x fails loudly once the fast engine
 #: loses more than ~2x of its advantage while keeping ample headroom for

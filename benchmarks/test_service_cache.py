@@ -15,6 +15,10 @@ from benchmarks.conftest import write_report
 from repro.experiments import format_table
 from repro.service import CompilationJob, CompilationService, CompilerOptions
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 #: The warm batch must beat the cold batch by at least this factor.
 MIN_SPEEDUP = 5.0
 

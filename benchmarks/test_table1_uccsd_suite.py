@@ -9,6 +9,10 @@ from benchmarks.conftest import write_report
 from repro.baselines import NaiveCompiler
 from repro.experiments import format_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table1_uccsd_suite(benchmark, uccsd_programs):
     compiler = NaiveCompiler()

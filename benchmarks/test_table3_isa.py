@@ -13,6 +13,10 @@ from repro.core.compiler import PhoenixCompiler
 from repro.experiments import format_table
 from repro.utils.maths import geometric_mean
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 BASELINES = [
     ("tket", TketLikeCompiler),
     ("paulihedral", PaulihedralCompiler),

@@ -10,6 +10,10 @@ swapping PHOENIX's Tetris-like ``order`` stage for a no-op through
 ``Pipeline.replaced``, and the per-stage wall-clock timings every
 ``CompilationResult`` records.
 
+Finally it builds a generated workload from the registry — the same
+``family:key=val,...`` spec strings the harness, the batch manifests, and
+``phoenix workload compile`` accept — and compiles it.
+
 Run with:  python examples/quickstart.py
 """
 
@@ -82,6 +86,21 @@ def main() -> None:
     # Every result records where its wall-clock went, stage by stage.
     print("\nPer-stage wall-clock (s):")
     print(stage_timing_table({"phoenix": phoenix, "no-order": ablated}))
+
+    # Generated workloads: the registry builds seeded, fingerprintable
+    # program families from spec strings (see `phoenix workload list`).
+    from repro import workload_from_spec
+
+    workload = workload_from_spec("tfim:n=8,lattice=ring,seed=3")
+    compiled = PhoenixCompiler(isa="cnot").compile(workload.to_terms())
+    print(
+        f"\nWorkload {workload.spec}\n"
+        f"  {workload.num_qubits} qubits, {workload.num_terms} terms, "
+        f"suggested topology {workload.suggested_topology}, "
+        f"fingerprint {workload.fingerprint()[:12]}...\n"
+        f"  PHOENIX: {compiled.metrics.cx_count} CNOTs, "
+        f"2Q depth {compiled.metrics.depth_2q}"
+    )
 
 
 if __name__ == "__main__":

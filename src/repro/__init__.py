@@ -22,6 +22,12 @@ from repro.pipeline import (
     build_compiler,
     register_compiler,
 )
+from repro.workloads import (
+    Workload,
+    build_workload,
+    register_workload,
+    workload_from_spec,
+)
 
 __version__ = "0.1.0"
 
@@ -38,5 +44,9 @@ __all__ = [
     "Pipeline",
     "build_compiler",
     "register_compiler",
+    "Workload",
+    "build_workload",
+    "register_workload",
+    "workload_from_spec",
     "__version__",
 ]

@@ -36,6 +36,10 @@ class TwoQANCompiler:
     """Permutation-aware compiler for 2-local programs (QAOA and kin)."""
 
     name = "2qan"
+    #: Declared contract: programs with heavier terms are rejected.  The
+    #: differential suite and the workload-coverage grid read this instead
+    #: of pattern-matching the ValueError below.
+    max_pauli_weight = 2
 
     def __init__(
         self,

@@ -3,6 +3,8 @@
 from repro.experiments.harness import (
     CompilerSpec,
     default_compilers,
+    resolve_program,
+    resolve_suite,
     run_benchmark,
     run_suite,
     format_table,
@@ -13,6 +15,8 @@ from repro.experiments.harness import (
 __all__ = [
     "CompilerSpec",
     "default_compilers",
+    "resolve_program",
+    "resolve_suite",
     "run_benchmark",
     "run_suite",
     "format_table",

@@ -9,14 +9,20 @@ printed, asserted on, or dumped to JSON without extra dependencies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.compiler import CompilationResult
 from repro.hardware.topology import Topology
 from repro.metrics.circuit_metrics import optimization_rate
 from repro.paulis.pauli import PauliTerm
+from repro.pipeline.options import as_terms
 from repro.pipeline.registry import get_compiler_factory
 from repro.utils.maths import geometric_mean
+
+#: Anything ``run_suite`` accepts as one program: prebuilt terms, a
+#: ``Hamiltonian`` or ``Workload`` (anything with ``to_terms()``), or a
+#: workload spec string such as ``"heisenberg:n=8,lattice=ring"``.
+ProgramSpec = Union[Sequence[PauliTerm], str, object]
 
 #: The paper's main-evaluation line-up, resolved from the global registry.
 DEFAULT_LINEUP = ("paulihedral", "tetris", "tket", "phoenix")
@@ -68,8 +74,46 @@ def _service_options(
     )
 
 
+def resolve_program(value: ProgramSpec) -> List[PauliTerm]:
+    """Normalise one suite entry into a term list.
+
+    Accepts a prebuilt term sequence, anything exposing ``to_terms()``
+    (a :class:`~repro.paulis.hamiltonian.Hamiltonian` or a
+    :class:`~repro.workloads.workload.Workload`), or a workload spec
+    string resolved through the global registry of
+    :mod:`repro.workloads.registry`.
+    """
+    if isinstance(value, str):
+        from repro.workloads.registry import workload_from_spec
+
+        value = workload_from_spec(value)
+    to_terms = getattr(value, "to_terms", None)
+    if to_terms is not None:
+        value = to_terms()
+    # The one program normaliser: keeps the empty-program guard.
+    return as_terms(value)
+
+
+def resolve_suite(
+    programs: Union[Dict[str, ProgramSpec], Sequence[ProgramSpec]]
+) -> Dict[str, List[PauliTerm]]:
+    """Normalise a suite: a name -> program mapping, or a bare sequence of
+    workload specs / ``Workload`` objects keyed by their spec strings."""
+    if not isinstance(programs, dict):
+        named: Dict[str, ProgramSpec] = {}
+        for position, value in enumerate(programs):
+            name = getattr(value, "name", None) or (
+                value if isinstance(value, str) else f"program-{position}"
+            )
+            if name in named:
+                raise ValueError(f"duplicate program name {name!r} in suite")
+            named[name] = value
+        programs = named
+    return {name: resolve_program(value) for name, value in programs.items()}
+
+
 def run_benchmark(
-    terms: Sequence[PauliTerm],
+    terms: ProgramSpec,
     compilers: Sequence[CompilerSpec],
     isa: str = "cnot",
     topology: Optional[Topology] = None,
@@ -79,7 +123,9 @@ def run_benchmark(
 ) -> Dict[str, CompilationResult]:
     """Compile one program with every compiler in the line-up.
 
-    With a :class:`repro.service.CompilationService` passed as ``service``,
+    ``terms`` accepts anything :func:`resolve_program` does, including a
+    workload spec string.  With a
+    :class:`repro.service.CompilationService` passed as ``service``,
     compilations are routed through its content-addressed cache (so suite
     reruns are cache hits) and ``workers`` processes.
     """
@@ -91,7 +137,7 @@ def run_benchmark(
 
 
 def run_suite(
-    programs: Dict[str, Sequence[PauliTerm]],
+    programs: Union[Dict[str, ProgramSpec], Sequence[ProgramSpec]],
     compilers: Sequence[CompilerSpec],
     isa: str = "cnot",
     topology: Optional[Topology] = None,
@@ -101,6 +147,11 @@ def run_suite(
 ) -> Dict[str, Dict[str, CompilationResult]]:
     """Compile every program in ``programs`` with every compiler.
 
+    ``programs`` maps names to anything :func:`resolve_program` accepts —
+    prebuilt term lists, ``Hamiltonian``/``Workload`` objects, or workload
+    spec strings like ``"maxcut:n=12,graph=powerlaw"`` — or is a bare
+    sequence of specs/workloads, keyed by their spec strings.
+
     Without a ``service`` every (program, compiler) pair compiles inline.
     With one, all pairs expressible as plain-data jobs go through
     ``service.compile_many`` — batched into a single call so cache lookups
@@ -108,6 +159,7 @@ def run_suite(
     back to inline compilation.  A job that fails inside the service
     raises ``RuntimeError`` with the captured worker traceback.
     """
+    programs = resolve_suite(programs)
     suite: Dict[str, Dict[str, CompilationResult]] = {
         name: {} for name in programs
     }

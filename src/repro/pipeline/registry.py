@@ -105,6 +105,14 @@ def is_order_sensitive(name: str) -> bool:
     return name in ORDER_SENSITIVE_COMPILERS
 
 
+def compiler_max_weight(name: str) -> Optional[int]:
+    """The largest Pauli weight a compiler's contract accepts, or ``None``
+    for no limit.  Read from the factory's ``max_pauli_weight`` attribute
+    (2QAN declares 2); callers use it to decide which programs a compiler
+    participates in instead of probing for rejection errors."""
+    return getattr(get_compiler_factory(name), "max_pauli_weight", None)
+
+
 def build_compiler(
     name: str, options: Optional[CompileOptions] = None, cache=None
 ):

@@ -25,6 +25,8 @@ from repro.serialize.results import (
     result_to_json,
     terms_from_dict,
     terms_to_dict,
+    workload_from_dict,
+    workload_to_dict,
 )
 
 __all__ = [
@@ -43,4 +45,6 @@ __all__ = [
     "result_from_dict",
     "result_to_json",
     "result_from_json",
+    "workload_to_dict",
+    "workload_from_dict",
 ]

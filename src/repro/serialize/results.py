@@ -107,8 +107,59 @@ def _routed_from_dict(data: Dict[str, Any]) -> RoutedCircuit:
     )
 
 
-def result_to_dict(result: CompilationResult) -> Dict[str, Any]:
-    """A compilation result as a JSON-compatible dict (``groups`` excluded)."""
+def workload_to_dict(workload) -> Dict[str, Any]:
+    """A :class:`~repro.workloads.workload.Workload`'s metadata as JSON data.
+
+    Carries everything needed to regenerate and authenticate the program:
+    family, complete params (defaults included), seed, spec string, shape,
+    and the workload fingerprint.  The terms themselves are *not* embedded
+    — they rebuild deterministically from (family, params), and
+    :func:`workload_from_dict` verifies the fingerprint after doing so.
+    """
+    return {
+        "family": workload.family,
+        "params": dict(workload.params),
+        "seed": workload.seed,
+        "spec": workload.spec,
+        "num_qubits": workload.num_qubits,
+        "num_terms": workload.num_terms,
+        "suggested_topology": workload.suggested_topology,
+        "fingerprint": workload.fingerprint(),
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]):
+    """Regenerate a workload from its metadata and verify its fingerprint.
+
+    Raises ``ValueError`` when the rebuilt program's fingerprint does not
+    match the recorded one (a changed generator, a tampered payload, or a
+    registry drift) — silent divergence between a cached result and the
+    program it claims to describe must never pass.
+    """
+    from repro.workloads.registry import build_workload
+
+    workload = build_workload(data["family"], **data.get("params", {}))
+    recorded = data.get("fingerprint")
+    if recorded is not None and workload.fingerprint() != recorded:
+        raise ValueError(
+            f"workload {data['family']!r} rebuilt from params does not match "
+            f"its recorded fingerprint (recorded {recorded[:12]}..., rebuilt "
+            f"{workload.fingerprint()[:12]}...); the generator or payload "
+            "has drifted"
+        )
+    return workload
+
+
+def result_to_dict(result: CompilationResult, workload=None) -> Dict[str, Any]:
+    """A compilation result as a JSON-compatible dict (``groups`` excluded).
+
+    Passing the :class:`~repro.workloads.workload.Workload` the program
+    came from embeds its metadata under a ``"workload"`` key, so batch
+    outputs and cached artefacts record the provenance of generated
+    inputs.  :func:`result_from_dict` ignores the key (results rebuild
+    without the generator); use :func:`workload_from_dict` to regenerate
+    and verify the program itself.
+    """
     payload: Dict[str, Any] = {
         "format": SERIALIZATION_FORMAT,
         "circuit": circuit_to_dict(result.circuit),
@@ -123,6 +174,8 @@ def result_to_dict(result: CompilationResult) -> Dict[str, Any]:
     }
     if result.routed is not None:
         payload["routed"] = _routed_to_dict(result.routed)
+    if workload is not None:
+        payload["workload"] = workload_to_dict(workload)
     return payload
 
 
@@ -149,8 +202,10 @@ def result_from_dict(data: Dict[str, Any]) -> CompilationResult:
     )
 
 
-def result_to_json(result: CompilationResult, indent: Optional[int] = None) -> str:
-    return json.dumps(result_to_dict(result), indent=indent)
+def result_to_json(
+    result: CompilationResult, indent: Optional[int] = None, workload=None
+) -> str:
+    return json.dumps(result_to_dict(result, workload=workload), indent=indent)
 
 
 def result_from_json(text: str) -> CompilationResult:

@@ -1,18 +1,25 @@
 """The ``phoenix`` command-line interface.
 
-Three subcommands expose the compilation service::
+Four subcommands expose the compilation service and the workload
+registry::
 
     phoenix compile --benchmark LiH_frz_JW --format metrics
     phoenix compile --input program.json --format qasm --output out.qasm
     phoenix batch LiH_frz_JW NH_frz_BK --workers 4 --cache-dir .phoenix-cache
     phoenix batch --manifest jobs.json --output results.json
     phoenix cache info --cache-dir .phoenix-cache
+    phoenix workload list
+    phoenix workload build "tfim:n=12,lattice=ring" --output program.json
+    phoenix workload compile "heisenberg:n=16,lattice=grid,rows=4,cols=4" \
+        --compiler phoenix --topology auto
 
-Programs are read either from the built-in Table-1 UCCSD benchmark
-catalogue (``--benchmark``) or from a JSON file in the serialization
-layer's term format: ``{"num_qubits": N, "labels": [...],
-"coefficients": [...]}``.  Run ``python -m repro.service.cli --help`` (or
-the installed ``phoenix`` entry point) for the full flag reference.
+Programs are read from the built-in Table-1 UCCSD benchmark catalogue
+(``--benchmark``), from a JSON file in the serialization layer's term
+format (``{"num_qubits": N, "labels": [...], "coefficients": [...]}``), or
+generated from the workload registry by ``family:key=val,...`` spec
+strings (``workload`` subcommands and the ``"workload"`` key of batch
+manifest entries).  Run ``python -m repro.service.cli --help`` (or the
+installed ``phoenix`` entry point) for the full flag reference.
 """
 
 from __future__ import annotations
@@ -23,7 +30,12 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.serialize.results import result_to_dict, terms_from_dict
+from repro.serialize.results import (
+    result_to_dict,
+    terms_from_dict,
+    terms_to_dict,
+    workload_to_dict,
+)
 from repro.service.cache import DiskCacheStore, open_cache
 from repro.service.registry import CompilerOptions, compiler_names
 from repro.service.service import CompilationJob, CompilationService, JobResult
@@ -57,6 +69,30 @@ def _emit(text: str, output: Optional[str]) -> None:
         print(text, end="" if text.endswith("\n") else "\n")
 
 
+def _emit_result(
+    result, fmt: str, output: Optional[str],
+    header_lines: List[str], workload=None,
+) -> None:
+    """Shared qasm/json/metrics emission of ``compile`` and ``workload
+    compile``; ``header_lines`` carries the per-command provenance rows of
+    the metrics format."""
+    if fmt == "qasm":
+        _emit(result.circuit.to_qasm(), output)
+    elif fmt == "json":
+        _emit(
+            json.dumps(result_to_dict(result, workload=workload), indent=2) + "\n",
+            output,
+        )
+    else:  # metrics
+        lines = list(header_lines)
+        lines += [f"{k}: {v}" for k, v in result.metrics.as_dict().items()]
+        if result.routing_overhead is not None:
+            lines.append(f"routing_overhead: {result.routing_overhead:.3f}")
+        for stage, seconds in result.stage_timings.items():
+            lines.append(f"stage.{stage}: {seconds:.4f}s")
+        _emit("\n".join(lines) + "\n", output)
+
+
 def _job_summary(job_result: JobResult) -> Dict[str, Any]:
     summary: Dict[str, Any] = {
         "name": job_result.name,
@@ -87,7 +123,8 @@ def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology", default=None,
         help="topology spec: all-to-all (default), heavy-hex, manhattan, "
-             "line-N, ring-N, or grid-RxC",
+             "line-N, ring-N, or grid-RxC ('workload compile' also accepts "
+             "auto = the workload's suggested topology)",
     )
     parser.add_argument(
         "--opt-level", type=int, default=2,
@@ -109,25 +146,17 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         sys.stderr.write(f"compilation of {name!r} failed:\n{job_result.error}")
         return 1
 
-    result = job_result.result
-    if args.format == "qasm":
-        _emit(result.circuit.to_qasm(), args.output)
-    elif args.format == "json":
-        _emit(json.dumps(result_to_dict(result), indent=2) + "\n", args.output)
-    else:  # metrics
-        lines = [f"benchmark: {name}", f"cached: {job_result.cached}"]
-        lines += [f"{k}: {v}" for k, v in result.metrics.as_dict().items()]
-        if result.routing_overhead is not None:
-            lines.append(f"routing_overhead: {result.routing_overhead:.3f}")
-        for stage, seconds in result.stage_timings.items():
-            lines.append(f"stage.{stage}: {seconds:.4f}s")
-        _emit("\n".join(lines) + "\n", args.output)
+    _emit_result(
+        job_result.result, args.format, args.output,
+        header_lines=[f"benchmark: {name}", f"cached: {job_result.cached}"],
+    )
     return 0
 
 
 def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[CompilationJob]:
-    """Manifest format: a JSON list of ``{"name", "benchmark" | "program",
-    ...compiler-option overrides}`` entries."""
+    """Manifest format: a JSON list of ``{"name", "benchmark" | "program" |
+    "workload", ...compiler-option overrides}`` entries; ``"workload"`` is a
+    registry spec string such as ``"maxcut:n=12,graph=powerlaw"``."""
     from repro.chemistry.molecules import benchmark_program
 
     entries = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -137,13 +166,21 @@ def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[Compilatio
     for position, entry in enumerate(entries):
         if "benchmark" in entry:
             program = benchmark_program(entry["benchmark"])
+        elif "workload" in entry:
+            from repro.workloads.registry import workload_from_spec
+
+            program = workload_from_spec(entry["workload"]).to_terms()
         elif "program" in entry:
             program = terms_from_dict(entry["program"])
         else:
             raise SystemExit(
-                f"error: manifest entry {position} needs 'benchmark' or 'program'"
+                f"error: manifest entry {position} needs 'benchmark', "
+                "'workload', or 'program'"
             )
-        name = entry.get("name", entry.get("benchmark", f"job-{position}"))
+        name = entry.get(
+            "name",
+            entry.get("benchmark", entry.get("workload", f"job-{position}")),
+        )
         merged = dict(defaults.as_dict())
         merged.update(
             {k: entry[k] for k in
@@ -198,6 +235,70 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if failed:
         sys.stderr.write(f"{failed} of {len(summaries)} jobs failed\n")
     return 1 if failed else 0
+
+
+def _cmd_workload_list(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import format_table
+    from repro.workloads.registry import list_workloads
+
+    rows = []
+    for family in list_workloads():
+        defaults = ",".join(
+            f"{key}={value}" for key, value in sorted(family.defaults.items())
+        )
+        rows.append([family.name, family.description, defaults])
+    table = format_table(rows, headers=["family", "description", "defaults"])
+    _emit(table + "\n", args.output)
+    return 0
+
+
+def _cmd_workload_build(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import workload_from_spec
+
+    workload = workload_from_spec(args.spec)
+    payload = {
+        "workload": workload_to_dict(workload),
+        "program": terms_to_dict(workload.to_terms()),
+    }
+    _emit(json.dumps(payload, indent=2) + "\n", args.output)
+    return 0
+
+
+def _cmd_workload_compile(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import workload_from_spec
+
+    workload = workload_from_spec(args.spec)
+    topology = args.topology
+    if topology == "auto":
+        topology = workload.suggested_topology
+    options = CompilerOptions(
+        compiler=args.compiler,
+        isa=args.isa,
+        topology=topology,
+        optimization_level=args.opt_level,
+        seed=args.seed,
+    )
+    service = CompilationService(cache=open_cache(args.cache_dir))
+    job_result = service.compile(workload.to_terms(), options, name=workload.name)
+    if not job_result.ok:
+        sys.stderr.write(
+            f"compilation of workload {workload.spec!r} failed:\n{job_result.error}"
+        )
+        return 1
+
+    _emit_result(
+        job_result.result, args.format, args.output,
+        header_lines=[
+            f"workload: {workload.spec}",
+            f"fingerprint: {workload.fingerprint()}",
+            f"qubits: {workload.num_qubits}",
+            f"terms: {workload.num_terms}",
+            f"topology: {topology or 'all-to-all'}",
+            f"cached: {job_result.cached}",
+        ],
+        workload=workload,
+    )
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -268,6 +369,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument("--output", default=None, help="output file (default: stdout)")
     batch_parser.set_defaults(func=_cmd_batch)
+
+    workload_parser = subparsers.add_parser(
+        "workload",
+        help="list, build, or compile generated workloads from the registry",
+    )
+    workload_sub = workload_parser.add_subparsers(dest="workload_command", required=True)
+
+    wl_list = workload_sub.add_parser(
+        "list", help="show the registered workload families and their defaults"
+    )
+    wl_list.add_argument("--output", default=None, help="output file (default: stdout)")
+    wl_list.set_defaults(func=_cmd_workload_list)
+
+    wl_build = workload_sub.add_parser(
+        "build", help="generate a workload and emit its program + metadata JSON"
+    )
+    wl_build.add_argument(
+        "spec", help="workload spec, e.g. 'heisenberg:n=16,lattice=ring,seed=3'"
+    )
+    wl_build.add_argument("--output", default=None, help="output file (default: stdout)")
+    wl_build.set_defaults(func=_cmd_workload_build)
+
+    wl_compile = workload_sub.add_parser(
+        "compile", help="generate a workload and compile it through the service"
+    )
+    wl_compile.add_argument(
+        "spec", help="workload spec, e.g. 'maxcut:n=12,graph=powerlaw'"
+    )
+    _add_compiler_flags(wl_compile)
+    wl_compile.add_argument(
+        "--format", default="metrics", choices=["metrics", "qasm", "json"],
+        help="output format (default: metrics)",
+    )
+    wl_compile.add_argument("--output", default=None, help="output file (default: stdout)")
+    wl_compile.set_defaults(func=_cmd_workload_compile)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear an on-disk result cache"

@@ -1,0 +1,79 @@
+"""Workload-coverage grid: every registered family x every compiler.
+
+Compiles the small (<= 8 qubit) verification instance of each registered
+workload family under each registered compiler and renders the resulting
+#CNOT grid as a fixed-width table — the artifact the CI ``verification``
+job uploads.  Cells show ``n/a`` where a compiler's contract excludes the
+family (2QAN only accepts 2-local programs) and ``FAIL`` on an unexpected
+error, so a hole in the support matrix is visible at a glance.
+
+Run with::
+
+    python -m repro.workloads.coverage [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.pipeline.options import CompileOptions
+from repro.pipeline.registry import build_compiler, compiler_max_weight, compiler_names
+from repro.workloads.registry import list_workloads
+from repro.workloads.workload import Workload
+
+
+def _family_cells(workload: Workload, compilers: Sequence[str]) -> Dict[str, str]:
+    """One grid row: compile ``workload`` under each compiler."""
+    row: Dict[str, str] = {}
+    for name in compilers:
+        limit = compiler_max_weight(name)
+        if limit is not None and workload.max_weight() > limit:
+            row[name] = "n/a"  # declared contract exclusion (e.g. 2QAN)
+            continue
+        try:
+            compiler = build_compiler(name, CompileOptions())
+            result = compiler.compile(workload.to_terms())
+            row[name] = str(result.metrics.cx_count)
+        except Exception as exc:  # pragma: no cover - a hole in the matrix
+            row[name] = f"FAIL: {type(exc).__name__}: {exc}"
+    return row
+
+
+def coverage_table() -> str:
+    """The grid rendered as a fixed-width text table: one row per family,
+    one column per compiler, each cell the compiled #CNOT, ``n/a``
+    (contract exclusion), or ``FAIL: <reason>``."""
+    from repro.experiments.harness import format_table
+
+    compilers = compiler_names()
+    rows: List[List[str]] = []
+    for family in list_workloads():
+        workload = family.small()
+        cells = _family_cells(workload, compilers)
+        row = [family.name, f"{workload.num_qubits}q/{workload.num_terms}t"]
+        row.extend(cells[name] for name in compilers)
+        rows.append(row)
+    return format_table(rows, headers=["family", "small instance"] + compilers)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compile each workload family's small instance under "
+        "every registered compiler and print the #CNOT coverage grid."
+    )
+    parser.add_argument("--output", default=None, help="write the grid to a file")
+    args = parser.parse_args(argv)
+    table = coverage_table()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+    print(table)
+    failures = table.count("FAIL")
+    if failures:
+        print(f"\n{failures} family x compiler cells failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

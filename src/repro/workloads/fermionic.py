@@ -1,0 +1,81 @@
+"""Fermi–Hubbard workload family via the fermionic operator layer.
+
+Builds the 1D Hubbard chain ``H = -t sum_{<i,j>,s} (a†_{is} a_{js} + h.c.)
++ U sum_i n_{i,up} n_{i,down} - mu sum_{i,s} n_{i,s}`` with the repository's
+interleaved spin-orbital convention (site ``i`` -> up mode ``2i``, down
+mode ``2i+1``), maps it to qubits under Jordan–Wigner or Bravyi–Kitaev, and
+emits one first-order Trotter step.  Per-bond hopping jitter drawn from the
+seed (``disorder``) makes the family a seeded ensemble.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.chemistry.bravyi_kitaev import bravyi_kitaev
+from repro.chemistry.fermion import FermionOperator
+from repro.chemistry.jordan_wigner import jordan_wigner
+from repro.paulis.pauli import PauliTerm
+from repro.workloads.registry import register_workload
+from repro.workloads.workload import Workload
+
+
+def _number(mode: int) -> FermionOperator:
+    """The number operator ``n_mode = a†_mode a_mode``."""
+    return FermionOperator.creation(mode) * FermionOperator.annihilation(mode)
+
+
+def _hopping(a: int, b: int, amplitude: float) -> FermionOperator:
+    """``-amplitude (a†_a a_b + a†_b a_a)``."""
+    forward = FermionOperator.creation(a) * FermionOperator.annihilation(b)
+    backward = FermionOperator.creation(b) * FermionOperator.annihilation(a)
+    return (-amplitude) * (forward + backward)
+
+
+@register_workload(
+    "hubbard",
+    description="1D Fermi-Hubbard chain (hopping t, on-site U, chemical "
+    "potential mu) under a JW or BK encoding, one Trotter step",
+    defaults={"sites": 3, "t": 1.0, "u": 2.0, "mu": 0.0, "encoding": "jw",
+              "periodic": False, "dt": 0.05, "disorder": 0.1, "seed": 0},
+    small_params={"sites": 2},
+)
+def hubbard(sites, t, u, mu, encoding, periodic, dt, disorder, seed) -> Workload:
+    if sites < 1:
+        raise ValueError("hubbard needs at least one site")
+    if encoding not in ("jw", "bk"):
+        raise ValueError(f"unknown encoding {encoding!r}; expected 'jw' or 'bk'")
+    num_modes = 2 * sites
+    rng = np.random.default_rng(seed)
+
+    hamiltonian = FermionOperator()
+    bonds = [(i, i + 1) for i in range(sites - 1)]
+    if periodic and sites > 2:
+        bonds.append((sites - 1, 0))
+    for i, j in bonds:
+        amplitude = t
+        if disorder > 0.0:
+            amplitude = t * (1.0 + disorder * rng.uniform(-1.0, 1.0))
+        for spin in (0, 1):  # up modes are even, down modes odd
+            hamiltonian = hamiltonian + _hopping(2 * i + spin, 2 * j + spin, amplitude)
+    for i in range(sites):
+        hamiltonian = hamiltonian + u * (_number(2 * i) * _number(2 * i + 1))
+        if mu != 0.0:
+            hamiltonian = hamiltonian + (-mu) * (_number(2 * i) + _number(2 * i + 1))
+
+    transform = jordan_wigner if encoding == "jw" else bravyi_kitaev
+    qubit_op = transform(hamiltonian, num_modes)
+    terms: List[PauliTerm] = []
+    for term in qubit_op.to_hamiltonian().to_terms():
+        # Identity components only shift the global phase of exp(-iHt);
+        # compilers consume non-trivial exponentiations.
+        if term.weight() > 0:
+            terms.append(PauliTerm(term.string, term.coefficient * dt))
+
+    params = dict(sites=sites, t=t, u=u, mu=mu, encoding=encoding,
+                  periodic=periodic, dt=dt, disorder=disorder, seed=seed)
+    return Workload(
+        "hubbard", params, terms, suggested_topology=f"line-{num_modes}"
+    )

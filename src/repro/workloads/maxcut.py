@@ -1,0 +1,66 @@
+"""MaxCut / QAOA workload family over seeded problem-graph ensembles.
+
+Extends the paper's Table IV graphs (random regular) with power-law
+(Barabási–Albert) and Erdős–Rényi ensembles and optional seeded edge
+weights, then emits the QAOA cost layers (plus optional mixers) through
+:mod:`repro.qaoa.ansatz`.  All instances are 2-local, so this family also
+exercises the 2QAN baseline in the differential suite.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.qaoa.ansatz import qaoa_program
+from repro.qaoa.graphs import random_regular_graph
+from repro.workloads.registry import register_workload
+from repro.workloads.workload import Workload
+
+GRAPH_KINDS = ("reg3", "regular", "powerlaw", "erdos")
+
+
+def _build_graph(kind: str, n: int, degree: int, m: int, p: float, seed: int) -> nx.Graph:
+    if kind == "reg3":
+        return random_regular_graph(3, n, seed=seed)
+    if kind == "regular":
+        return random_regular_graph(degree, n, seed=seed)
+    if kind == "powerlaw":
+        if n <= m:
+            raise ValueError("powerlaw graphs need n > m")
+        return nx.barabasi_albert_graph(n, m, seed=seed)
+    if kind == "erdos":
+        for attempt in range(64):
+            graph = nx.gnp_random_graph(n, p, seed=seed + attempt)
+            if graph.number_of_edges() > 0 and nx.is_connected(graph):
+                return graph
+        # A user error (p too small for connectivity), not an internal bug:
+        # ValueError keeps the CLI's one-line error contract.
+        raise ValueError(
+            f"failed to sample a connected G({n}, {p}) graph from seed {seed}; "
+            "increase p or n"
+        )
+    raise ValueError(f"unknown graph kind {kind!r}; expected one of {GRAPH_KINDS}")
+
+
+@register_workload(
+    "maxcut",
+    description="MaxCut QAOA layers over seeded graph ensembles (3-regular, "
+    "d-regular, power-law, Erdos-Renyi), optionally edge-weighted",
+    defaults={"n": 8, "graph": "reg3", "degree": 3, "m": 2, "p": 0.4,
+              "weighted": False, "layers": 1, "gamma": 0.35, "beta": 0.2,
+              "mixer": False, "seed": 11},
+    small_params={"n": 6, "weighted": True},
+)
+def maxcut(n, graph, degree, m, p, weighted, layers, gamma, beta, mixer, seed) -> Workload:
+    problem = _build_graph(graph, n, degree, m, p, seed)
+    if weighted:
+        rng = np.random.default_rng(seed)
+        for u, v in sorted(problem.edges()):
+            problem[u][v]["weight"] = float(rng.uniform(0.1, 1.0))
+    terms = qaoa_program(
+        problem, gamma=gamma, beta=beta, layers=layers, include_mixer=mixer
+    )
+    params = dict(n=n, graph=graph, degree=degree, m=m, p=p, weighted=weighted,
+                  layers=layers, gamma=gamma, beta=beta, mixer=mixer, seed=seed)
+    return Workload("maxcut", params, terms, suggested_topology=None)

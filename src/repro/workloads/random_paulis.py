@@ -1,0 +1,50 @@
+"""Random k-local Pauli-ensemble workload family.
+
+Each instance draws ``num_terms`` Pauli exponentiations on ``n`` qubits
+from the workload seed: supports of exactly ``min(k, n)`` qubits chosen
+uniformly, uniform non-identity Paulis on the support, and Gaussian
+coefficients scaled by ``scale``.  This is the fully-random stressor of the
+catalogue — no structure for a compiler to exploit beyond what it finds
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.paulis.pauli import PauliString, PauliTerm
+from repro.workloads.registry import register_workload
+from repro.workloads.workload import Workload
+
+_PAULIS = ("X", "Y", "Z")
+
+
+@register_workload(
+    "kpauli",
+    description="Random ensemble of exactly-k-local Pauli exponentiations "
+    "with seeded Gaussian coefficients",
+    defaults={"n": 6, "num_terms": 24, "k": 3, "scale": 0.1, "seed": 0},
+    small_params={"n": 5, "num_terms": 16},
+)
+def kpauli(n, num_terms, k, scale, seed) -> Workload:
+    if n < 2:
+        raise ValueError("kpauli needs at least two qubits")
+    if num_terms < 1:
+        raise ValueError("kpauli needs at least one term")
+    locality = min(int(k), int(n))
+    if locality < 1:
+        raise ValueError("k must be positive")
+    rng = np.random.default_rng(seed)
+    terms: List[PauliTerm] = []
+    for _ in range(int(num_terms)):
+        support = rng.choice(n, size=locality, replace=False)
+        paulis = {int(q): _PAULIS[rng.integers(3)] for q in support}
+        string = PauliString.from_sparse(n, paulis)
+        coefficient = float(scale) * float(rng.standard_normal())
+        if coefficient == 0.0:  # pragma: no cover - measure-zero draw
+            coefficient = float(scale)
+        terms.append(PauliTerm(string, coefficient))
+    params = dict(n=n, num_terms=num_terms, k=k, scale=scale, seed=seed)
+    return Workload("kpauli", params, terms, suggested_topology=None)

@@ -1,0 +1,162 @@
+"""Spin-lattice workload families: Heisenberg, XXZ, and TFIM.
+
+Each family builds one first-order Trotter step of the model Hamiltonian on
+a chain, ring, or 2D grid lattice: every edge contributes its two-body
+couplings and every site its field term, all scaled by the step size
+``dt``.  A ``disorder`` knob draws per-bond coupling jitter from the
+workload seed, turning the clean lattice models into seeded ensembles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.paulis.pauli import PauliString, PauliTerm
+from repro.workloads.registry import register_workload
+from repro.workloads.workload import Workload
+
+Edge = Tuple[int, int]
+
+
+def _lattice(
+    lattice: str, n: int, rows: int, cols: int
+) -> Tuple[int, List[Edge], Optional[str]]:
+    """Qubit count, edge list, and suggested topology spec of a lattice.
+
+    For a grid, ``n`` must equal ``rows * cols`` — a silently ignored
+    ``n`` would record provenance for a different program than the one
+    built.  A ring needs at least 3 sites (2 sites would double-count the
+    single physical bond; 1 is a self-edge).
+    """
+    if lattice == "chain":
+        if n < 2:
+            raise ValueError("a chain lattice needs n >= 2")
+        return n, [(i, i + 1) for i in range(n - 1)], f"line-{n}"
+    if lattice == "ring":
+        if n < 3:
+            raise ValueError("a ring lattice needs n >= 3")
+        return n, [(i, (i + 1) % n) for i in range(n)], f"ring-{n}"
+    if lattice == "grid":
+        if n != rows * cols:
+            raise ValueError(
+                f"grid lattice needs n == rows * cols; got n={n} with "
+                f"{rows}x{cols}={rows * cols} (pass all three consistently)"
+            )
+        edges: List[Edge] = []
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    edges.append((node, node + 1))
+                if r + 1 < rows:
+                    edges.append((node, node + cols))
+        return rows * cols, edges, f"grid-{rows}x{cols}"
+    raise ValueError(
+        f"unknown lattice {lattice!r}; expected 'chain', 'ring', or 'grid'"
+    )
+
+
+def _two_body(num_qubits: int, edge: Edge, pauli: str) -> PauliString:
+    a, b = edge
+    return PauliString.from_sparse(num_qubits, {a: pauli, b: pauli})
+
+
+def _bond_factors(
+    rng: np.random.Generator, count: int, disorder: float
+) -> np.ndarray:
+    """Per-bond multipliers: 1 when clean, seeded jitter when disordered."""
+    if disorder <= 0.0:
+        return np.ones(count)
+    return 1.0 + disorder * rng.uniform(-1.0, 1.0, size=count)
+
+
+def _heisenberg_terms(
+    num_qubits: int,
+    edges: List[Edge],
+    jx: float,
+    jy: float,
+    jz: float,
+    hz: float,
+    dt: float,
+    disorder: float,
+    seed: int,
+) -> List[PauliTerm]:
+    rng = np.random.default_rng(seed)
+    factors = _bond_factors(rng, len(edges), disorder)
+    terms: List[PauliTerm] = []
+    for edge, factor in zip(edges, factors):
+        for coupling, pauli in ((jx, "X"), (jy, "Y"), (jz, "Z")):
+            if coupling != 0.0:
+                terms.append(
+                    PauliTerm(_two_body(num_qubits, edge, pauli), coupling * factor * dt)
+                )
+    if hz != 0.0:
+        for qubit in range(num_qubits):
+            string = PauliString.from_sparse(num_qubits, {qubit: "Z"})
+            terms.append(PauliTerm(string, hz * dt))
+    return terms
+
+
+_LATTICE_PARAMS: Dict[str, object] = {
+    "n": 8, "lattice": "chain", "rows": 2, "cols": 4,
+}
+
+
+@register_workload(
+    "heisenberg",
+    description="Heisenberg model (jx XX + jy YY + jz ZZ per bond, hz Z field) "
+    "on a chain/ring/grid lattice, one Trotter step",
+    defaults={**_LATTICE_PARAMS, "jx": 1.0, "jy": 1.0, "jz": 1.0, "hz": 0.2,
+              "dt": 0.05, "disorder": 0.1, "seed": 0},
+    small_params={"n": 5},
+)
+def heisenberg(n, lattice, rows, cols, jx, jy, jz, hz, dt, disorder, seed) -> Workload:
+    num_qubits, edges, topology = _lattice(lattice, n, rows, cols)
+    terms = _heisenberg_terms(num_qubits, edges, jx, jy, jz, hz, dt, disorder, seed)
+    params = dict(n=n, lattice=lattice, rows=rows, cols=cols, jx=jx, jy=jy,
+                  jz=jz, hz=hz, dt=dt, disorder=disorder, seed=seed)
+    return Workload("heisenberg", params, terms, suggested_topology=topology)
+
+
+@register_workload(
+    "xxz",
+    description="XXZ anisotropic Heisenberg chain/ring/grid (jx = jy = 1, "
+    "jz = delta), one Trotter step",
+    defaults={**_LATTICE_PARAMS, "delta": 0.5, "hz": 0.0, "dt": 0.05,
+              "disorder": 0.1, "seed": 0},
+    small_params={"n": 6},
+)
+def xxz(n, lattice, rows, cols, delta, hz, dt, disorder, seed) -> Workload:
+    num_qubits, edges, topology = _lattice(lattice, n, rows, cols)
+    terms = _heisenberg_terms(
+        num_qubits, edges, 1.0, 1.0, delta, hz, dt, disorder, seed
+    )
+    params = dict(n=n, lattice=lattice, rows=rows, cols=cols, delta=delta,
+                  hz=hz, dt=dt, disorder=disorder, seed=seed)
+    return Workload("xxz", params, terms, suggested_topology=topology)
+
+
+@register_workload(
+    "tfim",
+    description="Transverse-field Ising model (-j ZZ per bond, -g X per site) "
+    "on a chain/ring/grid lattice, one Trotter step",
+    defaults={**_LATTICE_PARAMS, "j": 1.0, "g": 0.8, "dt": 0.05,
+              "disorder": 0.1, "seed": 0},
+    small_params={"n": 6},
+)
+def tfim(n, lattice, rows, cols, j, g, dt, disorder, seed) -> Workload:
+    num_qubits, edges, topology = _lattice(lattice, n, rows, cols)
+    rng = np.random.default_rng(seed)
+    factors = _bond_factors(rng, len(edges), disorder)
+    terms: List[PauliTerm] = []
+    for edge, factor in zip(edges, factors):
+        terms.append(PauliTerm(_two_body(num_qubits, edge, "Z"), -j * factor * dt))
+    if g != 0.0:
+        for qubit in range(num_qubits):
+            string = PauliString.from_sparse(num_qubits, {qubit: "X"})
+            terms.append(PauliTerm(string, -g * dt))
+    params = dict(n=n, lattice=lattice, rows=rows, cols=cols, j=j, g=g,
+                  dt=dt, disorder=disorder, seed=seed)
+    return Workload("tfim", params, terms, suggested_topology=topology)

@@ -1,0 +1,67 @@
+"""Stress workload family: commuting-block ladders sized by one knob.
+
+``scale`` rungs of a two-rail ladder (``2 * scale`` qubits) alternate
+between a diagonal block — ZZ on every rung and along both rails, all
+mutually commuting — and a transverse block of XX rungs, repeated
+``depth`` times.  Within a block every term commutes (ideal for grouping
+compilers); across blocks nothing does (so ordering still matters).  Gate
+counts grow linearly in ``scale * depth``, which makes this the family to
+turn a single knob and watch a compiler scale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.paulis.pauli import PauliString, PauliTerm
+from repro.workloads.registry import register_workload
+from repro.workloads.workload import Workload
+
+
+def _two_body(num_qubits: int, a: int, b: int, pauli: str) -> PauliString:
+    return PauliString.from_sparse(num_qubits, {a: pauli, b: pauli})
+
+
+@register_workload(
+    "stress",
+    description="Commuting-block ladder: alternating diagonal (ZZ) and "
+    "transverse (XX) blocks on a 2 x scale ladder, repeated depth times",
+    defaults={"scale": 3, "depth": 2, "coupling": 0.2, "seed": 0},
+    small_params={"scale": 3, "depth": 1},
+)
+def stress(scale, depth, coupling, seed) -> Workload:
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    num_qubits = 2 * int(scale)
+    rng = np.random.default_rng(seed)
+    terms: List[PauliTerm] = []
+    for _ in range(int(depth)):
+        # Diagonal block: every ZZ bond of the ladder; all terms commute.
+        for rung in range(scale):
+            a, b = 2 * rung, 2 * rung + 1
+            terms.append(
+                PauliTerm(_two_body(num_qubits, a, b, "Z"),
+                          coupling * float(rng.uniform(0.5, 1.5)))
+            )
+        for rung in range(scale - 1):
+            for rail in (0, 1):
+                a, b = 2 * rung + rail, 2 * (rung + 1) + rail
+                terms.append(
+                    PauliTerm(_two_body(num_qubits, a, b, "Z"),
+                              coupling * float(rng.uniform(0.5, 1.5)))
+                )
+        # Transverse block: XX rungs; commute with each other, not with ZZ.
+        for rung in range(scale):
+            a, b = 2 * rung, 2 * rung + 1
+            terms.append(
+                PauliTerm(_two_body(num_qubits, a, b, "X"),
+                          coupling * float(rng.uniform(0.5, 1.5)))
+            )
+    params = dict(scale=scale, depth=depth, coupling=coupling, seed=seed)
+    return Workload(
+        "stress", params, terms, suggested_topology=f"grid-2x{int(scale)}"
+    )

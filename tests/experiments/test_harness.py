@@ -38,3 +38,54 @@ class TestHarness:
         lines = table.splitlines()
         assert lines[0].startswith("name")
         assert len(lines) == 4
+
+
+class TestWorkloadSpecs:
+    def test_run_suite_accepts_spec_strings_and_workloads(self):
+        from repro.workloads import workload_from_spec
+
+        workload = workload_from_spec("tfim:n=5,seed=3")
+        compilers = [default_compilers()[-1]]  # phoenix
+        suite = run_suite(
+            {
+                "from-spec": "tfim:n=5,seed=3",
+                "from-workload": workload,
+                "from-terms": workload.to_terms(),
+            },
+            compilers,
+        )
+        counts = {
+            name: results["phoenix"].metrics.cx_count
+            for name, results in suite.items()
+        }
+        # One program, three spellings: identical compiled output.
+        assert len(set(counts.values())) == 1
+
+    def test_run_suite_accepts_a_bare_sequence_of_specs(self):
+        suite = run_suite(
+            ["tfim:n=4,seed=1", "stress:scale=2,depth=1"],
+            [default_compilers()[-1]],
+        )
+        assert len(suite) == 2
+        assert all(name.count(":") == 1 for name in suite)
+
+    def test_duplicate_suite_names_raise(self):
+        from repro.experiments.harness import resolve_suite
+
+        with pytest.raises(ValueError, match="duplicate program name"):
+            resolve_suite(["tfim:n=4,seed=1", "tfim:n=4,seed=1"])
+
+    def test_run_benchmark_accepts_a_spec_string(self):
+        results = run_benchmark("stress:scale=2,depth=1", [default_compilers()[-1]])
+        assert results["phoenix"].metrics.cx_count > 0
+
+    def test_workload_specs_route_through_the_service_cache(self):
+        from repro.service.service import CompilationService
+
+        service = CompilationService()
+        compilers = default_compilers()
+        run_suite({"wl": "xxz:n=5,seed=2"}, compilers, service=service, workers=1)
+        stats = service.cache_stats()
+        assert stats.get("misses", 0) >= len(compilers)
+        run_suite({"wl": "xxz:n=5,seed=2"}, compilers, service=service, workers=1)
+        assert service.cache_stats().get("hits", 0) >= len(compilers)

@@ -133,3 +133,78 @@ class TestCacheCommand:
         assert main(["cache", "info", "--cache-dir", str(missing)]) == 2
         assert "no cache directory" in capsys.readouterr().err
         assert not missing.exists()  # inspection must not create state
+
+
+class TestWorkloadCommand:
+    def test_list_shows_every_registered_family(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in workload_names():
+            assert name in out
+
+    def test_build_emits_program_and_verifiable_metadata(self, tmp_path, capsys):
+        out_file = tmp_path / "wl.json"
+        code = main([
+            "workload", "build", "tfim:n=6,lattice=ring,seed=2",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload["program"]["num_qubits"] == 6
+        assert payload["workload"]["family"] == "tfim"
+
+        from repro.serialize.results import workload_from_dict
+
+        rebuilt = workload_from_dict(payload["workload"])
+        assert rebuilt.fingerprint() == payload["workload"]["fingerprint"]
+
+    def test_compile_metrics_output(self, capsys):
+        assert main([
+            "workload", "compile", "stress:scale=2,depth=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "workload: stress:" in out
+        assert "fingerprint:" in out
+        assert "cx_count:" in out
+
+    def test_compile_auto_topology_uses_the_suggestion(self, capsys):
+        assert main([
+            "workload", "compile", "tfim:n=6,lattice=ring,seed=2",
+            "--topology", "auto",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "topology: ring-6" in out
+
+    def test_compile_json_embeds_workload_provenance(self, capsys):
+        assert main([
+            "workload", "compile", "maxcut:n=6,seed=4", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"]["family"] == "maxcut"
+        assert payload["metrics"]["cx_count"] > 0
+
+    def test_bad_specs_are_clean_errors(self, capsys):
+        assert main(["workload", "build", "no-such-family"]) == 2
+        assert "unknown workload family" in capsys.readouterr().err
+        assert main(["workload", "build", "tfim:bogus=1"]) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+    def test_manifest_workload_entries_batch_compile(self, tmp_path, capsys):
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(
+            json.dumps([
+                {"workload": "tfim:n=5,seed=1"},
+                {"workload": "stress:scale=2,depth=1", "compiler": "naive",
+                 "name": "ladder-naive"},
+            ]),
+            encoding="utf-8",
+        )
+        code = main(["batch", "--manifest", str(manifest), "--workers", "1",
+                     "--format", "json"])
+        assert code == 0
+        summaries = json.loads(capsys.readouterr().out)
+        assert {summary["status"] for summary in summaries} == {"ok"}
+        assert summaries[0]["name"].startswith("tfim:")
+        assert summaries[1]["name"] == "ladder-naive"

@@ -1,0 +1,204 @@
+"""Property tests for every registered workload family.
+
+Each family must behave like a content-addressed generator: the same seed
+reproduces the exact same terms and fingerprint, a different seed changes
+the fingerprint, all coefficients are real finite rotation angles
+(Hermitian Hamiltonian content), and qubit counts / term supports stay
+inside the bounds the parameters declare.  The suite iterates the live
+registry, so a newly registered family is automatically held to the same
+contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.registry import (
+    get_workload_family,
+    list_workloads,
+    workload_from_spec,
+    workload_names,
+)
+
+FAMILY_NAMES = workload_names()
+
+#: Expected qubit count as a function of the (complete) parameter set.
+_EXPECTED_QUBITS = {
+    "heisenberg": lambda p: p["rows"] * p["cols"] if p["lattice"] == "grid" else p["n"],
+    "xxz": lambda p: p["rows"] * p["cols"] if p["lattice"] == "grid" else p["n"],
+    "tfim": lambda p: p["rows"] * p["cols"] if p["lattice"] == "grid" else p["n"],
+    "hubbard": lambda p: 2 * p["sites"],
+    "kpauli": lambda p: p["n"],
+    "maxcut": lambda p: p["n"],
+    "uccsd": lambda p: p["orbitals"],
+    "stress": lambda p: 2 * p["scale"],
+}
+
+
+def _build_small(family_name: str, seed: int):
+    family = get_workload_family(family_name)
+    return family.build(**{**family.small_params, "seed": seed})
+
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestGeneratorProperties:
+    def test_catalogue_has_at_least_eight_families(self):
+        assert len(FAMILY_NAMES) >= 8
+        assert {"heisenberg", "xxz", "tfim", "hubbard", "kpauli",
+                "maxcut", "uccsd", "stress"} <= set(FAMILY_NAMES)
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_same_seed_reproduces_terms_and_fingerprint(self, family_name):
+        first = _build_small(family_name, seed=5)
+        second = _build_small(family_name, seed=5)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.num_terms == second.num_terms
+        for a, b in zip(first.terms, second.terms):
+            assert a.to_label() == b.to_label()
+            assert a.coefficient == b.coefficient
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_different_seed_changes_fingerprint(self, family_name):
+        assert (
+            _build_small(family_name, seed=5).fingerprint()
+            != _build_small(family_name, seed=6).fingerprint()
+        )
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_coefficients_are_real_finite_rotation_angles(self, family_name):
+        workload = _build_small(family_name, seed=5)
+        for term in workload.terms:
+            assert isinstance(term.coefficient, float)
+            assert math.isfinite(term.coefficient)
+            assert term.coefficient != 0.0
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_qubit_count_and_supports_within_declared_bounds(self, family_name):
+        family = get_workload_family(family_name)
+        params = {**family.defaults, **family.small_params, "seed": 5}
+        workload = family.build(**{**family.small_params, "seed": 5})
+        assert workload.num_qubits == _EXPECTED_QUBITS[family_name](params)
+        for term in workload.terms:
+            assert term.num_qubits == workload.num_qubits
+            support = term.support()
+            assert len(support) >= 1  # no identity exponentiations
+            assert all(0 <= q < workload.num_qubits for q in support)
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_spec_string_round_trips(self, family_name):
+        workload = _build_small(family_name, seed=5)
+        rebuilt = workload_from_spec(workload.spec)
+        assert rebuilt.fingerprint() == workload.fingerprint()
+        assert rebuilt.spec == workload.spec
+
+    @pytest.mark.parametrize("family_name", FAMILY_NAMES)
+    def test_params_carry_the_complete_builder_signature(self, family_name):
+        """Workload params must cover every default, so provenance alone
+        rebuilds the instance (the serialization layer relies on this)."""
+        family = get_workload_family(family_name)
+        workload = _build_small(family_name, seed=5)
+        assert set(workload.params) == set(family.defaults)
+        assert workload.seed == 5
+
+
+class TestFamilySpecifics:
+    def test_kpauli_terms_are_exactly_k_local(self):
+        workload = workload_from_spec("kpauli:n=6,num_terms=12,k=3,seed=9")
+        assert all(term.weight() == 3 for term in workload.terms)
+        assert workload.num_terms == 12
+
+    def test_lattice_variants_build_and_suggest_matching_topologies(self):
+        chain = workload_from_spec("heisenberg:n=6,lattice=chain")
+        ring = workload_from_spec("heisenberg:n=6,lattice=ring")
+        grid = workload_from_spec("heisenberg:n=6,lattice=grid,rows=2,cols=3")
+        assert chain.suggested_topology == "line-6"
+        assert ring.suggested_topology == "ring-6"
+        assert grid.suggested_topology == "grid-2x3"
+        # A ring has one more bond than a chain: one more XX/YY/ZZ triple.
+        assert ring.num_terms == chain.num_terms + 3
+
+    def test_degenerate_lattices_are_rejected(self):
+        with pytest.raises(ValueError, match="n == rows \\* cols"):
+            workload_from_spec("tfim:n=16,lattice=grid,rows=2,cols=4")
+        with pytest.raises(ValueError, match="ring lattice needs n >= 3"):
+            workload_from_spec("tfim:n=2,lattice=ring")
+        with pytest.raises(ValueError, match="chain lattice needs n >= 2"):
+            workload_from_spec("heisenberg:n=1")
+
+    def test_maxcut_graph_kinds_and_weights(self):
+        for kind in ("reg3", "regular", "powerlaw", "erdos"):
+            workload = workload_from_spec(f"maxcut:n=8,graph={kind},seed=4")
+            assert workload.max_weight() == 2
+        unweighted = workload_from_spec("maxcut:n=8,weighted=false,seed=4")
+        weighted = workload_from_spec("maxcut:n=8,weighted=true,seed=4")
+        assert len({term.coefficient for term in unweighted.terms}) == 1
+        assert len({term.coefficient for term in weighted.terms}) > 1
+
+    def test_uccsd_molecule_parameter_matches_catalogue(self):
+        workload = workload_from_spec("uccsd:molecule=LiH_frz,encoding=bk")
+        assert workload.num_qubits == 10
+        from repro.chemistry.molecules import benchmark_program
+
+        reference = benchmark_program("LiH_frz_BK")
+        assert [t.to_label() for t in workload.terms] == [
+            t.to_label() for t in reference
+        ]
+
+    def test_stress_scales_linearly_with_the_knob(self):
+        small = workload_from_spec("stress:scale=2,depth=1")
+        big = workload_from_spec("stress:scale=4,depth=1")
+        assert big.num_qubits == 2 * small.num_qubits
+        assert big.num_terms > small.num_terms
+        deep = workload_from_spec("stress:scale=2,depth=3")
+        assert deep.num_terms == 3 * small.num_terms
+
+    def test_hubbard_encodings_agree_on_spectrum_content(self):
+        """JW and BK encode the same Hamiltonian: same qubit count and the
+        same multiset of |coefficients| (the encodings permute/relabel
+        strings but preserve the operator)."""
+        jw = workload_from_spec("hubbard:sites=2,encoding=jw,seed=3")
+        bk = workload_from_spec("hubbard:sites=2,encoding=bk,seed=3")
+        assert jw.num_qubits == bk.num_qubits == 4
+        assert sorted(round(abs(t.coefficient), 12) for t in jw.terms) == sorted(
+            round(abs(t.coefficient), 12) for t in bk.terms
+        )
+
+    def test_disorder_zero_is_seed_invariant_content(self):
+        """With disorder off, spin-lattice terms are seed-independent even
+        though the fingerprint (which hashes the seed) still differs."""
+        a = workload_from_spec("tfim:n=6,disorder=0.0,seed=1")
+        b = workload_from_spec("tfim:n=6,disorder=0.0,seed=2")
+        assert [t.coefficient for t in a.terms] == [t.coefficient for t in b.terms]
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestWorkloadValue:
+    def test_to_terms_returns_fresh_copies(self):
+        workload = _build_small("tfim", seed=5)
+        terms = workload.to_terms()
+        terms[0].coefficient = 123.0
+        assert workload.terms[0].coefficient != 123.0
+
+    def test_numpy_param_values_canonicalise(self):
+        """Params arriving as numpy scalars must not split fingerprints."""
+        plain = workload_from_spec("kpauli:n=6,num_terms=8,seed=2")
+        numpyish = get_workload_family("kpauli").build(
+            n=np.int64(6), num_terms=np.int64(8), seed=np.int64(2)
+        )
+        assert numpyish.fingerprint() == plain.fingerprint()
+
+        plain_bool = workload_from_spec("maxcut:n=6,weighted=true,seed=2")
+        numpy_bool = get_workload_family("maxcut").build(
+            n=6, weighted=np.bool_(True), seed=2
+        )
+        assert numpy_bool.fingerprint() == plain_bool.fingerprint()
+        # And the spec the workload prints still rebuilds it exactly.
+        assert (
+            workload_from_spec(numpy_bool.spec).fingerprint()
+            == numpy_bool.fingerprint()
+        )
