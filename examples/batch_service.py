@@ -9,12 +9,15 @@ is registered into the global compiler registry and batched through the
 service exactly like the built-ins: the service, cache keys, and CLI all
 resolve compilers from that one registry.
 
-Run it twice to see the second run served entirely from cache.
+Run it twice to see the second run served entirely from cache, and pass
+``--workers N`` to fan the cache misses out across a process pool
+(``--workers 1`` stays inline; the default lets the service decide from
+the job count and CPU budget).
 
-Run with:  python examples/batch_service.py [cache_dir]
+Run with:  python examples/batch_service.py [cache_dir] [--workers N]
 """
 
-import sys
+import argparse
 import time
 
 from repro import PhoenixCompiler, register_compiler
@@ -57,7 +60,18 @@ class NoOrderingPhoenix(PhoenixCompiler):
 
 
 def main() -> None:
-    cache_dir = sys.argv[1] if len(sys.argv) > 1 else ".phoenix-cache"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "cache_dir", nargs="?", default=".phoenix-cache",
+        help="content-addressed result cache directory (default: .phoenix-cache)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for cache misses (1 = inline serial; "
+             "default: min(#misses, cpu_count))",
+    )
+    args = parser.parse_args()
+    cache_dir = args.cache_dir
     service = CompilationService(cache=open_cache(cache_dir))
 
     # One registration makes the ablation batchable/cacheable service-wide.
@@ -75,7 +89,7 @@ def main() -> None:
         for name in BENCHMARKS[:1]
     ]
     started = time.perf_counter()
-    results = service.compile_many(jobs)
+    results = service.compile_many(jobs, workers=args.workers)
     elapsed = time.perf_counter() - started
 
     rows = [
@@ -91,8 +105,9 @@ def main() -> None:
     print(format_table(
         rows, headers=["benchmark", "cache", "#CNOT", "Depth-2Q", "t(simplify)"]
     ))
+    workers = args.workers if args.workers is not None else "auto"
     print(f"\nbatch of {len(jobs)} jobs took {elapsed:.2f}s "
-          f"(cache: {cache_dir!r}; rerun to hit it)")
+          f"(workers: {workers}, cache: {cache_dir!r}; rerun to hit it)")
 
 
 if __name__ == "__main__":

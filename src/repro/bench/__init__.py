@@ -1,0 +1,267 @@
+"""Service benchmark trajectory: the repo's performance record keeper.
+
+``python -m repro.bench`` compiles a **pinned 16-job workload-registry
+suite** through :class:`repro.service.CompilationService` three times —
+serial executor (cold cache), process executor (cold cache), process
+executor again (warm cache) — and emits a machine-readable
+``BENCH_service.json`` with wall-clock, jobs/sec, speedup, cache hit
+rates, and per-stage timing aggregates.  CI runs it nightly and uploads
+the report as an artifact, so every PR after this one has a trajectory to
+compare against; ``--floor X`` turns the serial→process speedup into a
+hard gate (exit code 2 when ``process jobs/sec < X * serial jobs/sec``).
+
+The suite is *pinned*: specs, seeds, compiler options, and job order are
+part of the record, so numbers are comparable across commits.  Change it
+only deliberately, alongside a bump of :data:`SUITE_VERSION`.
+
+Serial and process runs must agree exactly: the report's
+``equivalence.byte_identical`` compares the canonical JSON of every
+result (cache keys included) across the two executors, with the
+``stage_timings`` measurement metadata excluded — timings are wall-clock
+observations, not compilation content.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serialize.jsonutil import canonical_json_bytes
+from repro.serialize.results import result_to_dict
+from repro.service.cache import open_cache
+from repro.service.registry import CompilerOptions
+from repro.service.service import CompilationJob, CompilationService, JobResult
+
+BENCH_FORMAT = "phoenix-bench-service-1"
+
+#: Bump when PINNED_SUITE changes; reports with different suite versions
+#: are not comparable.
+SUITE_VERSION = 1
+
+#: The pinned suite: (name, workload spec, compiler-option overrides).
+#: Ordered heaviest-first so the process pool's stragglers stay short.
+PINNED_SUITE: Tuple[Tuple[str, str, Dict[str, Any]], ...] = (
+    ("uccsd-12q-phoenix", "uccsd:electrons=6,orbitals=12", {}),
+    ("uccsd-12q-s8-phoenix", "uccsd:electrons=6,orbitals=12,seed=8", {}),
+    ("uccsd-10q-naive", "uccsd:electrons=4,orbitals=10", {"compiler": "naive"}),
+    ("kpauli-16q-phoenix", "kpauli:n=16,num_terms=200,k=4", {}),
+    ("kpauli-16q-s1-phoenix", "kpauli:n=16,num_terms=200,k=4,seed=1", {}),
+    ("uccsd-10q-bk-phoenix", "uccsd:electrons=4,orbitals=10,encoding=bk", {}),
+    ("uccsd-10q-phoenix", "uccsd:electrons=4,orbitals=10", {}),
+    ("uccsd-10q-tetris", "uccsd:electrons=4,orbitals=10", {"compiler": "tetris"}),
+    ("uccsd-10q-paulihedral", "uccsd:electrons=4,orbitals=10", {"compiler": "paulihedral"}),
+    ("uccsd-10q-tket", "uccsd:electrons=4,orbitals=10", {"compiler": "tket"}),
+    ("kpauli-14q-phoenix", "kpauli:n=14,num_terms=160,k=3,seed=2", {}),
+    ("tfim-grid25-routed", "tfim:n=25,lattice=grid,rows=5,cols=5", {"topology": "grid-5x5"}),
+    ("heisenberg-grid36", "heisenberg:n=36,lattice=grid,rows=6,cols=6", {}),
+    ("hubbard-6site-bk", "hubbard:sites=6,encoding=bk", {}),
+    ("xxz-20q-chain", "xxz:n=20,lattice=chain", {}),
+    ("maxcut-24q-qaoa2", "maxcut:n=24,graph=reg3,layers=2", {}),
+)
+
+
+def bench_jobs(
+    suite: Optional[Sequence[Tuple[str, str, Dict[str, Any]]]] = None,
+) -> List[CompilationJob]:
+    """Materialize the pinned suite into compilation jobs."""
+    from repro.workloads.registry import workload_from_spec
+
+    if suite is None:
+        suite = PINNED_SUITE
+    jobs = []
+    for name, spec, overrides in suite:
+        workload = workload_from_spec(spec)
+        options = dict(CompilerOptions().as_dict())
+        options.update(overrides)
+        jobs.append(
+            CompilationJob(name, workload.to_terms(), CompilerOptions.from_dict(options))
+        )
+    return jobs
+
+
+def result_content_bytes(job_result: JobResult) -> bytes:
+    """Canonical bytes of one result for cross-executor comparison.
+
+    ``stage_timings`` is dropped: wall-clock measurements legitimately
+    differ between runs of the same deterministic compilation.
+    """
+    assert job_result.result is not None
+    payload = result_to_dict(job_result.result)
+    payload.pop("stage_timings", None)
+    payload["cache_key"] = job_result.key
+    return canonical_json_bytes(payload)
+
+
+def _timed_pass(
+    jobs: Sequence[CompilationJob],
+    executor: str,
+    workers: int,
+    timeout: Optional[float],
+    cache_dir: Optional[str] = None,
+    service: Optional[CompilationService] = None,
+) -> Tuple[CompilationService, List[JobResult], Dict[str, Any]]:
+    if service is None:
+        service = CompilationService(cache=open_cache(cache_dir))
+    started = time.perf_counter()
+    results = service.compile_many(
+        jobs, workers=workers, executor=executor, timeout=timeout
+    )
+    wall = time.perf_counter() - started
+    errors = {r.name: r.error for r in results if not r.ok}
+    summary: Dict[str, Any] = {
+        "executor": executor,
+        "workers": workers,
+        "wall_seconds": wall,
+        "jobs_per_second": len(jobs) / wall if wall > 0 else 0.0,
+        "jobs": len(jobs),
+        "errors": errors,
+        "cached_jobs": sum(1 for r in results if r.cached),
+        "per_job_seconds": {r.name: r.elapsed for r in results},
+    }
+    return service, results, summary
+
+
+def _stage_aggregates(results: Sequence[JobResult]) -> Dict[str, Dict[str, float]]:
+    """Per-stage wall-clock totals across the suite (serial pass)."""
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for job_result in results:
+        if job_result.result is None:
+            continue
+        for stage, seconds in job_result.result.stage_timings.items():
+            entry = aggregates.setdefault(
+                stage, {"total_seconds": 0.0, "max_seconds": 0.0, "jobs": 0}
+            )
+            entry["total_seconds"] += seconds
+            entry["max_seconds"] = max(entry["max_seconds"], seconds)
+            entry["jobs"] += 1
+    for entry in aggregates.values():
+        entry["mean_seconds"] = entry["total_seconds"] / entry["jobs"]
+    return aggregates
+
+
+def run_bench(
+    workers: int = 4,
+    timeout: Optional[float] = None,
+    suite: Optional[Sequence[Tuple[str, str, Dict[str, Any]]]] = None,
+) -> Dict[str, Any]:
+    """Run the three-pass bench and return the trajectory report dict."""
+    if suite is None:
+        suite = PINNED_SUITE
+    jobs = bench_jobs(suite)
+
+    _, serial_results, serial_summary = _timed_pass(jobs, "serial", 1, timeout)
+    process_service, process_results, process_summary = _timed_pass(
+        jobs, "process", workers, timeout
+    )
+    _, warm_results, warm_summary = _timed_pass(
+        jobs, "process", workers, timeout, service=process_service
+    )
+
+    mismatches = []
+    for serial_result, process_result in zip(serial_results, process_results):
+        if not serial_result.ok or not process_result.ok:
+            continue
+        if result_content_bytes(serial_result) != result_content_bytes(process_result):
+            mismatches.append(serial_result.name)
+
+    serial_jps = serial_summary["jobs_per_second"]
+    process_jps = process_summary["jobs_per_second"]
+    return {
+        "format": BENCH_FORMAT,
+        "suite_version": SUITE_VERSION,
+        "suite": [
+            {"name": name, "workload": spec, "options": overrides, "key": result.key}
+            for (name, spec, overrides), result in zip(suite, serial_results)
+        ],
+        "serial": serial_summary,
+        "process": process_summary,
+        "warm": {
+            **warm_summary,
+            "hit_rate": warm_summary["cached_jobs"] / len(jobs) if jobs else 0.0,
+            "all_hits": all(r.cached for r in warm_results),
+        },
+        "speedup": process_jps / serial_jps if serial_jps > 0 else 0.0,
+        "equivalence": {
+            "byte_identical": not mismatches and not serial_summary["errors"]
+            and not process_summary["errors"],
+            "mismatches": mismatches,
+            "note": "canonical result JSON incl. cache keys; stage_timings "
+                    "(wall-clock measurements) excluded",
+        },
+        "stage_timings": _stage_aggregates(serial_results),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the pinned service bench suite and record the "
+                    "performance trajectory.",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json",
+        help="report file (default: BENCH_service.json; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="process-pool workers for the parallel passes (default: 4)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (default: unlimited)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=None,
+        help="fail (exit 2) unless process jobs/sec >= FLOOR * serial "
+             "jobs/sec — the CI regression gate",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(workers=args.workers, timeout=args.timeout)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    serial = report["serial"]
+    process = report["process"]
+    sys.stderr.write(
+        f"serial:  {serial['wall_seconds']:.2f}s "
+        f"({serial['jobs_per_second']:.2f} jobs/s)\n"
+        f"process: {process['wall_seconds']:.2f}s "
+        f"({process['jobs_per_second']:.2f} jobs/s, "
+        f"{process['workers']} workers)\n"
+        f"speedup: {report['speedup']:.2f}x | warm hit rate: "
+        f"{report['warm']['hit_rate']:.0%} | byte-identical: "
+        f"{report['equivalence']['byte_identical']}\n"
+    )
+
+    if serial["errors"] or process["errors"]:
+        sys.stderr.write(f"bench jobs failed: "
+                         f"{sorted({**serial['errors'], **process['errors']})}\n")
+        return 1
+    if report["equivalence"]["mismatches"]:
+        sys.stderr.write(
+            f"serial/process results diverged: "
+            f"{report['equivalence']['mismatches']}\n"
+        )
+        return 1
+    if args.floor is not None and report["speedup"] < args.floor:
+        sys.stderr.write(
+            f"speedup {report['speedup']:.2f}x is below the pinned floor "
+            f"{args.floor:.2f}x\n"
+        )
+        return 2
+    return 0

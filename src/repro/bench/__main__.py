@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` entry point."""
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

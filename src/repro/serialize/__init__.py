@@ -7,6 +7,7 @@ Every ``*_to_dict`` function returns plain JSON-compatible data (dicts,
 lists, strings, numbers) and every ``*_from_dict`` reverses it exactly.
 """
 
+from repro.serialize.jsonutil import canonical_json, canonical_json_bytes
 from repro.serialize.circuits import (
     SERIALIZATION_FORMAT,
     circuit_from_dict,
@@ -31,6 +32,8 @@ from repro.serialize.results import (
 
 __all__ = [
     "SERIALIZATION_FORMAT",
+    "canonical_json",
+    "canonical_json_bytes",
     "gate_to_dict",
     "gate_from_dict",
     "circuit_to_dict",

@@ -1,0 +1,27 @@
+"""Canonical JSON encoding shared by the cache and the bench suite.
+
+One byte layout per payload: keys sorted, separators compact, non-finite
+floats rejected.  The disk cache writes entries through it so identical
+payloads are identical files, and the bench suite compares serial vs
+process-pool compilation results byte-for-byte through it.
+
+This module deliberately has no repro imports so the low-level cache
+stores can use it without pulling in the compiler stack.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text for ``payload`` (sorted keys, compact)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def canonical_json_bytes(payload: Any) -> bytes:
+    """UTF-8 bytes of :func:`canonical_json`, for hashing and comparison."""
+    return canonical_json(payload).encode("utf-8")

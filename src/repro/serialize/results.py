@@ -16,7 +16,6 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.core.compiler import CompilationResult
 from repro.hardware.routing.sabre import RoutedCircuit
 from repro.hardware.topology import Topology

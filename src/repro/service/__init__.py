@@ -1,7 +1,9 @@
 """Batch compilation service: caching, parallel workers, CLI.
 
 This subpackage is the serving layer over the compilers: a
-content-addressed compilation cache (:mod:`repro.service.cache`), a
+content-addressed compilation cache (:mod:`repro.service.cache`, with a
+sharded prunable disk tier in :mod:`repro.service.shardcache`), pluggable
+serial/process execution backends (:mod:`repro.service.executor`), a
 parallel batch compiler (:class:`CompilationService`), plain-data compiler
 specs that survive process boundaries (:mod:`repro.service.registry`), and
 the ``phoenix`` command line (:mod:`repro.service.cli`).
@@ -15,13 +17,27 @@ from repro.service.cache import (
     compilation_cache_key,
     open_cache,
 )
+from repro.service.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    default_worker_count,
+    resolve_executor,
+)
 from repro.service.registry import CompilerOptions, compiler_names, resolve_topology
-from repro.service.service import CompilationJob, CompilationService, JobResult
+from repro.service.service import (
+    CompilationJob,
+    CompilationService,
+    JobResult,
+    ProgressEvent,
+)
+from repro.service.shardcache import PruneReport, ShardedDiskCacheStore
 
 __all__ = [
     "CacheStats",
     "MemoryCacheStore",
     "DiskCacheStore",
+    "ShardedDiskCacheStore",
+    "PruneReport",
     "TieredCache",
     "compilation_cache_key",
     "open_cache",
@@ -31,4 +47,9 @@ __all__ = [
     "CompilationJob",
     "CompilationService",
     "JobResult",
+    "ProgressEvent",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "default_worker_count",
 ]

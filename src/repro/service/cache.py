@@ -21,9 +21,9 @@ import json
 import os
 import tempfile
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.paulis.fingerprint import ProgramLike, program_fingerprint
 
@@ -203,10 +203,19 @@ class TieredCache:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         value = self.memory.get(key)
-        if value is None and self.disk is not None:
-            value = self.disk.get(key)
-            if value is not None:
-                self.memory.put(key, value)
+        if value is None:
+            if self.disk is not None:
+                value = self.disk.get(key)
+                if value is not None:
+                    self.memory.put(key, value)
+        elif self.disk is not None:
+            # A memory hit must still register as disk access, or LRU
+            # pruning would evict the hottest entries of a long-lived
+            # service (their disk mtime would never move again after
+            # promotion).  Stores without access tracking skip this.
+            touch = getattr(self.disk, "touch", None)
+            if touch is not None:
+                touch(key)
         if value is None:
             self.stats.misses += 1
         else:
@@ -251,7 +260,21 @@ class TieredCache:
 CacheStore = Union[MemoryCacheStore, DiskCacheStore, TieredCache]
 
 
-def open_cache(cache_dir: Optional[Union[str, Path]] = None) -> TieredCache:
-    """A tiered cache backed by ``cache_dir`` (memory-only when ``None``)."""
-    disk = DiskCacheStore(cache_dir) if cache_dir is not None else None
-    return TieredCache(disk=disk)
+def open_cache(
+    cache_dir: Optional[Union[str, Path]] = None,
+    depth: Optional[int] = None,
+    width: Optional[int] = None,
+) -> TieredCache:
+    """A tiered cache backed by ``cache_dir`` (memory-only when ``None``).
+
+    The disk tier is a :class:`repro.service.shardcache.ShardedDiskCacheStore`
+    whose default layout is byte-compatible with :class:`DiskCacheStore`
+    directories; ``depth``/``width`` configure the shard fan-out for new
+    caches (an existing cache keeps its recorded layout).
+    """
+    if cache_dir is None:
+        return TieredCache(disk=None)
+    # Imported here: shardcache extends this module's DiskCacheStore.
+    from repro.service.shardcache import ShardedDiskCacheStore
+
+    return TieredCache(disk=ShardedDiskCacheStore(cache_dir, depth=depth, width=width))

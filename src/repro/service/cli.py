@@ -6,8 +6,9 @@ registry::
     phoenix compile --benchmark LiH_frz_JW --format metrics
     phoenix compile --input program.json --format qasm --output out.qasm
     phoenix batch LiH_frz_JW NH_frz_BK --workers 4 --cache-dir .phoenix-cache
-    phoenix batch --manifest jobs.json --output results.json
-    phoenix cache info --cache-dir .phoenix-cache
+    phoenix batch --manifest jobs.json --executor process --timeout 120
+    phoenix cache stats --cache-dir .phoenix-cache
+    phoenix cache prune --cache-dir .phoenix-cache --max-bytes 200M --max-age 7d
     phoenix workload list
     phoenix workload build "tfim:n=12,lattice=ring" --output program.json
     phoenix workload compile "heisenberg:n=16,lattice=grid,rows=4,cols=4" \
@@ -36,9 +37,15 @@ from repro.serialize.results import (
     terms_to_dict,
     workload_to_dict,
 )
-from repro.service.cache import DiskCacheStore, open_cache
+from repro.service.cache import open_cache
 from repro.service.registry import CompilerOptions, compiler_names
-from repro.service.service import CompilationJob, CompilationService, JobResult
+from repro.service.service import (
+    CompilationJob,
+    CompilationService,
+    JobResult,
+    ProgressEvent,
+)
+from repro.service.shardcache import ShardedDiskCacheStore
 
 
 def _load_program(args: argparse.Namespace) -> List:
@@ -100,15 +107,61 @@ def _job_summary(job_result: JobResult) -> Dict[str, Any]:
         "cached": job_result.cached,
         "deduplicated": job_result.deduplicated,
         "elapsed": job_result.elapsed,
+        "attempts": job_result.attempts,
         "key": job_result.key,
     }
-    if job_result.ok:
+    if job_result.ok and job_result.result is not None:
         payload = result_to_dict(job_result.result)
         summary["metrics"] = payload["metrics"]
         summary["stage_timings"] = payload["stage_timings"]
     else:
         summary["error"] = job_result.error
     return summary
+
+
+def _progress_line(event: ProgressEvent) -> str:
+    """One ``k/N done`` line per finished job, for long-manifest visibility."""
+    detail = event.outcome
+    if event.outcome in ("miss", "error") and event.elapsed:
+        detail += f", {event.elapsed:.2f}s"
+    if event.attempts > 1:
+        detail += f", {event.attempts} attempts"
+    return (
+        f"{event.completed}/{event.total} done {event.name} ({detail})\n"
+    )
+
+
+def _stderr_progress(event: ProgressEvent) -> None:
+    sys.stderr.write(_progress_line(event))
+    sys.stderr.flush()
+
+
+_SIZE_SUFFIXES = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+_AGE_SUFFIXES = {"": 1.0, "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_bytes(text: str) -> int:
+    """``"500M"`` -> bytes; bare numbers are bytes."""
+    text = text.strip().lower().removesuffix("b")
+    suffix = text[-1:] if text[-1:] in _SIZE_SUFFIXES and not text[-1:].isdigit() else ""
+    scale = _SIZE_SUFFIXES[suffix]
+    number = text[: len(text) - len(suffix)]
+    try:
+        return int(float(number) * scale)
+    except ValueError:
+        raise ValueError(f"invalid size {text!r}; expected e.g. 1048576, 512k, 200M, 1G")
+
+
+def _parse_age(text: str) -> float:
+    """``"7d"`` -> seconds; bare numbers are seconds."""
+    text = text.strip().lower()
+    suffix = text[-1:] if text[-1:] in _AGE_SUFFIXES and not text[-1:].isdigit() else ""
+    scale = _AGE_SUFFIXES[suffix]
+    number = text[: len(text) - len(suffix)]
+    try:
+        return float(number) * scale
+    except ValueError:
+        raise ValueError(f"invalid age {text!r}; expected e.g. 3600, 90m, 12h, 7d")
 
 
 def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
@@ -206,7 +259,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise SystemExit("error: provide benchmark names or --manifest FILE")
 
     service = CompilationService(cache=open_cache(args.cache_dir))
-    job_results = service.compile_many(jobs, workers=args.workers)
+    progress = None if args.quiet else _stderr_progress
+    job_results = service.compile_many(
+        jobs,
+        workers=args.workers,
+        executor=args.executor,
+        timeout=args.timeout,
+        progress=progress,
+    )
     summaries = [_job_summary(job_result) for job_result in job_results]
 
     if args.format == "json":
@@ -307,21 +367,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if not Path(args.cache_dir).is_dir():
         sys.stderr.write(f"error: no cache directory at {args.cache_dir!r}\n")
         return 2
-    store = DiskCacheStore(args.cache_dir)
+    store = ShardedDiskCacheStore(args.cache_dir)
     if args.action == "info":
-        keys = list(store.keys())
-        total_bytes = sum(
-            path.stat().st_size for path in Path(args.cache_dir).glob("*/*.json")
-        )
+        usage = store.usage()
         print(f"cache: {args.cache_dir}")
-        print(f"entries: {len(keys)}")
-        print(f"size_bytes: {total_bytes}")
+        print(f"entries: {usage['entries']}")
+        print(f"size_bytes: {usage['total_bytes']}")
+    elif args.action == "stats":
+        usage = store.usage()
+        print(f"cache: {args.cache_dir}")
+        print(f"layout: depth={usage['depth']} width={usage['width']}")
+        print(f"entries: {usage['entries']}")
+        print(f"size_bytes: {usage['total_bytes']}")
+        print(f"shards: {usage['shards']}")
+        print(f"max_shard_entries: {usage['max_shard_entries']}")
+        if usage["oldest_mtime"] is not None:
+            import time as _time
+
+            now = _time.time()
+            print(f"oldest_entry_age_s: {now - usage['oldest_mtime']:.0f}")
+            print(f"newest_entry_age_s: {now - usage['newest_mtime']:.0f}")
     elif args.action == "ls":
         for key in store.keys():
             print(key)
     elif args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} entries")
+    elif args.action == "prune":
+        if args.max_bytes is None and args.max_age is None:
+            sys.stderr.write("error: prune needs --max-bytes and/or --max-age\n")
+            return 2
+        report = store.prune(
+            max_bytes=_parse_bytes(args.max_bytes) if args.max_bytes else None,
+            max_age=_parse_age(args.max_age) if args.max_age else None,
+        )
+        print(
+            f"removed {report.removed_entries} entries "
+            f"({report.removed_bytes} bytes); "
+            f"kept {report.kept_entries} entries ({report.kept_bytes} bytes)"
+        )
+        if report.removed_tmp_files:
+            print(f"swept {report.removed_tmp_files} stale temp files")
     return 0
 
 
@@ -362,6 +448,19 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: min(#jobs, cpu_count); 1 = inline)",
+    )
+    batch_parser.add_argument(
+        "--executor", default="auto", choices=["serial", "process", "auto"],
+        help="execution backend for cache misses (default: auto = process "
+             "pool when >1 miss and >1 worker)",
+    )
+    batch_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (default: unlimited)",
+    )
+    batch_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-job k/N progress lines on stderr",
     )
     batch_parser.add_argument(
         "--format", default="table", choices=["table", "json"],
@@ -406,10 +505,22 @@ def build_parser() -> argparse.ArgumentParser:
     wl_compile.set_defaults(func=_cmd_workload_compile)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear an on-disk result cache"
+        "cache", help="inspect, prune, or clear an on-disk result cache"
     )
-    cache_parser.add_argument("action", choices=["info", "ls", "clear"])
+    cache_parser.add_argument(
+        "action", choices=["info", "stats", "ls", "clear", "prune"]
+    )
     cache_parser.add_argument("--cache-dir", required=True, help="cache directory")
+    cache_parser.add_argument(
+        "--max-bytes", default=None,
+        help="prune: evict least-recently-used entries until the cache fits "
+             "(accepts suffixes k/M/G, e.g. 200M)",
+    )
+    cache_parser.add_argument(
+        "--max-age", default=None,
+        help="prune: evict entries older than this (accepts suffixes "
+             "s/m/h/d/w, e.g. 7d)",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
 
     return parser

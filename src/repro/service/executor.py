@@ -1,0 +1,406 @@
+"""Execution backends for the batch compilation service.
+
+:class:`SerialExecutor` runs serialized job payloads inline;
+:class:`ProcessExecutor` fans them out across a ``fork``-based process
+pool with
+
+* per-process warmup (workers pre-import the compiler and workload
+  registries once, not per job),
+* chunked dispatch (many small jobs share one submission round-trip),
+* a per-job wall-clock timeout enforced *inside* the worker via
+  ``SIGALRM`` (a slow job becomes an error result without killing or
+  blocking its worker),
+* bounded retry — a job whose attempt timed out or whose worker died is
+  re-executed up to ``retries`` more times (re-dispatched to the pool
+  while it is healthy, inline once it is broken), and
+* ordered result collection: results come back aligned with the input
+  payload order no matter which worker finished first, with per-job
+  errors captured as result dicts rather than raised.
+
+Both executors share one contract: ``run(payloads)`` takes a sequence of
+JSON-compatible payload dicts and returns one raw result dict per
+payload, in order.  A raw result always carries ``status`` ("ok" or
+"error"), ``elapsed``, and ``attempts``; timeouts additionally carry
+``timeout: True``.  The payload runner is pluggable (``runner=``) so the
+retry/timeout machinery is testable without compiling anything; the
+default runner :func:`execute_payload` compiles one serialized
+compilation job exactly as :class:`repro.service.CompilationService`
+prepares them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+RawResult = Dict[str, Any]
+Runner = Callable[[Dict[str, Any]], RawResult]
+#: Progress callback: ``(position, raw_result)`` for each finished payload.
+ProgressFn = Callable[[int, RawResult], None]
+
+#: Names accepted by :func:`resolve_executor` and ``CompilationService``.
+EXECUTORS = ("serial", "process", "auto")
+
+
+class JobTimeout(BaseException):
+    """Raised by the ``SIGALRM`` handler when a job overruns its budget.
+
+    Derives from ``BaseException`` so the broad ``except Exception`` that
+    turns compilation failures into error results cannot swallow it.
+    """
+
+
+def default_worker_count(num_jobs: int) -> int:
+    """``min(num_jobs, cpu_count)``, at least 1."""
+    return max(1, min(num_jobs, os.cpu_count() or 1))
+
+
+def execute_payload(payload: Dict[str, Any]) -> RawResult:
+    """Compile one serialized job; runs inline or inside a worker process."""
+    from repro.serialize.results import result_to_dict, terms_from_dict
+    from repro.service.registry import CompilerOptions
+
+    started = time.perf_counter()
+    try:
+        terms = terms_from_dict(payload["program"])
+        compiler = CompilerOptions.from_dict(payload["options"]).build()
+        result = compiler.compile(terms)
+        return {
+            "index": payload.get("index"),
+            "status": "ok",
+            "result": result_to_dict(result),
+            "elapsed": time.perf_counter() - started,
+        }
+    except Exception:
+        return {
+            "index": payload.get("index"),
+            "status": "error",
+            "error": traceback.format_exc(),
+            "elapsed": time.perf_counter() - started,
+        }
+
+
+def warm_worker_process() -> None:
+    """Pre-load the compiler and workload registries in a fresh worker.
+
+    Run once per process (pool initializer), so the first job a worker
+    receives pays for imports and registry population exactly never.
+    """
+    from repro.pipeline.registry import registered_compilers
+    from repro.workloads.registry import list_workloads
+
+    registered_compilers()
+    list_workloads()
+
+
+def _timeout_result(payload: Dict[str, Any], timeout: float, elapsed: float) -> RawResult:
+    return {
+        "index": payload.get("index"),
+        "status": "error",
+        "error": f"job timed out after {timeout:g}s",
+        "timeout": True,
+        "elapsed": elapsed,
+    }
+
+
+def run_payload_with_timeout(
+    payload: Dict[str, Any],
+    timeout: Optional[float],
+    runner: Runner = execute_payload,
+) -> RawResult:
+    """Run one payload under a ``SIGALRM`` wall-clock budget.
+
+    Returns the runner's result dict, or a ``timeout: True`` error dict
+    when the alarm fires first.  Falls back to an unbounded run where
+    alarms are unavailable (non-POSIX platforms, non-main threads).
+    """
+    if not timeout or timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        return runner(payload)
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise JobTimeout()
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not the main thread: alarms cannot be delivered
+        return runner(payload)
+    started = time.perf_counter()
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return runner(payload)
+    except JobTimeout:
+        return _timeout_result(payload, timeout, time.perf_counter() - started)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_chunk(
+    payloads: List[Dict[str, Any]], timeout: Optional[float], runner: Runner
+) -> List[RawResult]:
+    """Worker-side loop: one chunk of payloads, each under the job timeout."""
+    return [run_payload_with_timeout(payload, timeout, runner) for payload in payloads]
+
+
+class SerialExecutor:
+    """Run payloads inline, in order, with the same timeout/retry contract."""
+
+    name = "serial"
+
+    def __init__(self, timeout: Optional[float] = None, retries: int = 0):
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+
+    def run(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        progress: Optional[ProgressFn] = None,
+        runner: Runner = execute_payload,
+    ) -> List[RawResult]:
+        results: List[RawResult] = []
+        for position, payload in enumerate(payloads):
+            attempts = 0
+            while True:
+                attempts += 1
+                raw = run_payload_with_timeout(payload, self.timeout, runner)
+                if not (raw.get("timeout") and attempts <= self.retries):
+                    break
+            raw["attempts"] = attempts
+            results.append(raw)
+            if progress is not None:
+                progress(position, raw)
+        return results
+
+
+class ProcessExecutor:
+    """Fan payloads across a process pool; see the module docstring.
+
+    ``chunk_size=None`` picks ``len(payloads) // (workers * 4)`` (at least
+    1) so stragglers rebalance while tiny jobs still amortize dispatch.
+    Inline retry after a broken pool assumes failures are transient
+    infrastructure issues, not jobs that deterministically kill their
+    interpreter.
+    """
+
+    name = "process"
+
+    #: Grace added to the safety-net wait when per-job timeouts are set.
+    SAFETY_GRACE = 30.0
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        chunk_size: Optional[int] = None,
+        warmup: bool = True,
+    ):
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.chunk_size = chunk_size
+        self.warmup = warmup
+
+    # ------------------------------------------------------------------
+    def _serial(self) -> SerialExecutor:
+        return SerialExecutor(timeout=self.timeout, retries=self.retries)
+
+    def _open_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        try:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=warm_worker_process if self.warmup else None,
+            )
+        except (OSError, PermissionError, ValueError):  # pragma: no cover
+            return None  # restricted environment: no subprocesses allowed
+
+    def _safety_timeout(self, chunk_len: int) -> Optional[float]:
+        if not self.timeout:
+            return None
+        # The in-worker alarm should always fire first; this outer net only
+        # catches workers wedged in uninterruptible native code.
+        return self.timeout * max(1, chunk_len) + self.SAFETY_GRACE
+
+    def run(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        progress: Optional[ProgressFn] = None,
+        runner: Runner = execute_payload,
+    ) -> List[RawResult]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        workers = self.max_workers or default_worker_count(len(payloads))
+        workers = max(1, min(int(workers), len(payloads)))
+        if workers == 1 or len(payloads) == 1:
+            return self._serial().run(payloads, progress=progress, runner=runner)
+        pool = self._open_pool(workers)
+        if pool is None:
+            return self._serial().run(payloads, progress=progress, runner=runner)
+
+        chunk_size = self.chunk_size or max(1, len(payloads) // (workers * 4))
+        results: List[Optional[RawResult]] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        pending: Dict[Future, List[int]] = {}
+        pool_broken = False
+
+        def finish(position: int, raw: RawResult) -> None:
+            raw.setdefault("attempts", attempts[position])
+            results[position] = raw
+            if progress is not None:
+                progress(position, raw)
+
+        def submit(positions: List[int]) -> bool:
+            nonlocal pool_broken
+            if pool_broken:
+                return False
+            try:
+                future = pool.submit(
+                    _execute_chunk,
+                    [payloads[position] for position in positions],
+                    self.timeout,
+                    runner,
+                )
+            except RuntimeError:  # pool already broken or shut down
+                pool_broken = True
+                return False
+            pending[future] = positions
+            return True
+
+        def resolve_inline(position: int) -> None:
+            """Final bounded retries once the pool cannot take the job."""
+            while attempts[position] <= self.retries:
+                attempts[position] += 1
+                raw = run_payload_with_timeout(payloads[position], self.timeout, runner)
+                if not (raw.get("timeout") and attempts[position] <= self.retries):
+                    finish(position, raw)
+                    return
+
+        def handle_raw(position: int, raw: RawResult) -> None:
+            attempts[position] += 1
+            if raw.get("timeout") and attempts[position] <= self.retries:
+                if not submit([position]):
+                    resolve_inline(position)
+            else:
+                finish(position, raw)
+
+        def handle_chunk_failure(positions: List[int], error: str) -> None:
+            for position in positions:
+                if results[position] is not None:
+                    continue
+                attempts[position] += 1
+                if attempts[position] <= self.retries:
+                    resolve_inline(position)
+                if results[position] is None:
+                    finish(
+                        position,
+                        {
+                            "index": payloads[position].get("index"),
+                            "status": "error",
+                            "error": error,
+                            "elapsed": 0.0,
+                        },
+                    )
+
+        wedged = False
+        try:
+            for start in range(0, len(payloads), chunk_size):
+                chunk = list(range(start, min(start + chunk_size, len(payloads))))
+                if not submit(chunk):
+                    # Pool broke mid-dispatch: this chunk (and, via the
+                    # pool_broken latch, every later one) runs inline.
+                    for position in chunk:
+                        resolve_inline(position)
+            while pending:
+                max_len = max(len(positions) for positions in pending.values())
+                done, _ = wait(
+                    pending,
+                    timeout=self._safety_timeout(max_len),
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Hard-wedged workers: record errors and abandon the pool.
+                    wedged = True
+                    for future, positions in pending.items():
+                        future.cancel()
+                        for position in positions:
+                            if results[position] is None:
+                                attempts[position] += 1
+                                finish(
+                                    position,
+                                    _timeout_result(
+                                        payloads[position],
+                                        self.timeout or 0.0,
+                                        0.0,
+                                    ),
+                                )
+                    pending.clear()
+                    break
+                for future in done:
+                    positions = pending.pop(future)
+                    try:
+                        raws = future.result()
+                    except BaseException:
+                        handle_chunk_failure(positions, traceback.format_exc())
+                        continue
+                    for position, raw in zip(positions, raws):
+                        handle_raw(position, raw)
+        finally:
+            pool.shutdown(wait=not wedged, cancel_futures=True)
+
+        # Belt and braces: no payload may come back without a result dict.
+        for position, raw in enumerate(results):
+            if raw is None:  # pragma: no cover - defensive
+                attempts[position] += 1
+                finish(
+                    position,
+                    {
+                        "index": payloads[position].get("index"),
+                        "status": "error",
+                        "error": "executor lost track of this job",
+                        "elapsed": 0.0,
+                    },
+                )
+        return [raw for raw in results if raw is not None]
+
+
+Executor = Union[SerialExecutor, ProcessExecutor]
+
+
+def resolve_executor(
+    spec: Union[str, Executor, None],
+    num_jobs: int = 0,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> Executor:
+    """Turn an executor spec into an executor instance.
+
+    ``spec`` is ``"serial"``, ``"process"``, ``"auto"`` (process when both
+    the job count and the worker budget exceed 1), ``None`` (same as
+    ``"auto"``), or an existing executor object, returned as-is.
+    """
+    if spec is None:
+        spec = "auto"
+    if not isinstance(spec, str):
+        if not callable(getattr(spec, "run", None)):
+            raise TypeError(f"{spec!r} is not an executor: it has no run() method")
+        return spec
+    if spec not in EXECUTORS:
+        raise ValueError(f"unknown executor {spec!r}; expected one of {EXECUTORS}")
+    workers = max_workers if max_workers is not None else default_worker_count(num_jobs)
+    if spec == "auto":
+        spec = "process" if num_jobs > 1 and workers > 1 else "serial"
+    if spec == "serial":
+        return SerialExecutor(timeout=timeout, retries=retries)
+    return ProcessExecutor(max_workers=workers, timeout=timeout, retries=retries)

@@ -6,31 +6,38 @@ parallel batch facility:
 * every job is keyed by the content-addressed pair (program fingerprint,
   compiler-config fingerprint) and looked up in the cache before any work
   is dispatched;
-* cache misses fan out across ``multiprocessing`` workers (jobs and results
-  cross the process boundary as the JSON payloads of
+* cache misses go to a pluggable execution backend
+  (:mod:`repro.service.executor`) — ``executor="serial"`` runs them
+  inline, ``"process"`` fans them out across a warmed process pool with
+  per-job timeouts and bounded retry, and ``"auto"`` (the default) picks
+  the pool whenever there is more than one miss and more than one worker
+  (jobs and results cross the process boundary as the JSON payloads of
   :mod:`repro.serialize`, so nothing depends on object identity);
 * results come back in the order the jobs were submitted, regardless of
-  which worker finished first; and
+  which worker finished first, and a ``progress`` callback observes each
+  job (hit, dedup, miss, or error) as it completes; and
 * a job that raises inside a worker is captured as a failed
   :class:`JobResult` with the traceback, without poisoning the batch.
 """
 
 from __future__ import annotations
 
-import os
-import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
-
-import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.compiler import CompilationResult
 from repro.paulis.pauli import PauliTerm
 from repro.pipeline.options import as_terms
-from repro.serialize.results import result_from_dict, result_to_dict, terms_from_dict, terms_to_dict
+from repro.serialize.results import result_from_dict, terms_to_dict
 from repro.service.cache import CacheStore, MemoryCacheStore, compilation_cache_key
+from repro.service.executor import (
+    Executor,
+    RawResult,
+    default_worker_count,
+    execute_payload,
+    resolve_executor,
+)
 from repro.service.registry import CompilerOptions
 
 
@@ -62,43 +69,62 @@ class JobResult:
     deduplicated: bool = False
     elapsed: float = 0.0
     key: str = ""
+    #: Executor attempts this job consumed (timeout/crash retries included).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
 
-def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Compile one serialized job; runs inline or inside a worker process."""
-    started = time.perf_counter()
-    try:
-        terms = terms_from_dict(payload["program"])
-        compiler = CompilerOptions.from_dict(payload["options"]).build()
-        result = compiler.compile(terms)
-        return {
-            "index": payload["index"],
-            "status": "ok",
-            "result": result_to_dict(result),
-            "elapsed": time.perf_counter() - started,
-        }
-    except Exception:
-        return {
-            "index": payload["index"],
-            "status": "error",
-            "error": traceback.format_exc(),
-            "elapsed": time.perf_counter() - started,
-        }
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One finished job, as seen by a ``compile_many`` progress callback.
+
+    ``outcome`` is ``"hit"``, ``"dedup"``, ``"miss"`` (freshly compiled),
+    or ``"error"``; ``completed``/``total`` make ``k/N done`` lines
+    trivial for callers.
+    """
+
+    name: str
+    status: str
+    outcome: str
+    completed: int
+    total: int
+    elapsed: float = 0.0
+    attempts: int = 1
+    key: str = ""
 
 
-def _default_workers(num_jobs: int) -> int:
-    return max(1, min(num_jobs, os.cpu_count() or 1))
+ProgressCallback = Callable[[ProgressEvent], None]
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: (= unlimited) in :meth:`CompilationService.compile_many` overrides.
+_UNSET: Any = object()
 
 
 class CompilationService:
-    """Cached, parallel front end over the registered compilers."""
+    """Cached, parallel front end over the registered compilers.
 
-    def __init__(self, cache: Optional[CacheStore] = None):
+    ``executor``, ``max_workers``, ``timeout`` (seconds per job), and
+    ``retries`` set the service-wide execution defaults;
+    :meth:`compile_many` can override the executor, worker budget, and
+    timeout per batch.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[CacheStore] = None,
+        executor: Union[str, Executor, None] = "auto",
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+    ):
         self.cache = cache if cache is not None else MemoryCacheStore()
+        self.executor = executor if executor is not None else "auto"
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = retries
         self._options_fingerprints: Dict[CompilerOptions, str] = {}
 
     # ------------------------------------------------------------------
@@ -126,18 +152,45 @@ class CompilationService:
         self,
         jobs: Sequence[CompilationJob],
         workers: Optional[int] = None,
+        executor: Union[str, Executor, None] = None,
+        timeout: Optional[float] = _UNSET,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[JobResult]:
         """Compile a batch of jobs, returning results in submission order.
 
         ``workers=None`` picks ``min(#misses, cpu_count)``; ``workers <= 1``
         runs everything inline (deterministic and fork-free, useful in
-        tests and restricted environments).
+        tests and restricted environments).  ``executor`` overrides the
+        service default (``"serial"``, ``"process"``, ``"auto"``, or an
+        executor object); ``timeout`` overrides the service's per-job
+        budget for this batch, with an explicit ``timeout=None`` meaning
+        unlimited; ``progress`` is called once per job as it completes,
+        cache hits included.
         """
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[Dict[str, Any]] = []
         keys: List[str] = []
         dispatched: Dict[str, int] = {}
         duplicates: List[int] = []
+        total = len(jobs)
+        completed = 0
+
+        def emit(job_result: JobResult, outcome: str) -> None:
+            nonlocal completed
+            completed += 1
+            if progress is not None:
+                progress(
+                    ProgressEvent(
+                        name=job_result.name,
+                        status=job_result.status,
+                        outcome="error" if not job_result.ok else outcome,
+                        completed=completed,
+                        total=total,
+                        elapsed=job_result.elapsed,
+                        attempts=job_result.attempts,
+                        key=job_result.key,
+                    )
+                )
 
         for index, job in enumerate(jobs):
             keys.append("")
@@ -150,6 +203,7 @@ class CompilationService:
                 results[index] = JobResult(
                     name=job.name, status="error", error=traceback.format_exc()
                 )
+                emit(results[index], "error")
                 continue
             keys[index] = key
             if cached is not None:
@@ -160,6 +214,7 @@ class CompilationService:
                     cached=True,
                     key=key,
                 )
+                emit(results[index], "hit")
             elif key in dispatched:
                 # Identical content already in this batch: compile once and
                 # fan the result out afterwards.
@@ -176,16 +231,24 @@ class CompilationService:
                 )
 
         if pending:
+            worker_count = workers if workers is not None else self.max_workers
             worker_count = (
-                _default_workers(len(pending)) if workers is None else max(1, int(workers))
+                default_worker_count(len(pending))
+                if worker_count is None
+                else max(1, int(worker_count))
             )
-            if worker_count == 1 or len(pending) == 1:
-                raw_results = [_execute_payload(payload) for payload in pending]
-            else:
-                raw_results = self._run_parallel(pending, worker_count)
+            backend = resolve_executor(
+                executor if executor is not None else self.executor,
+                num_jobs=len(pending),
+                max_workers=worker_count,
+                timeout=self.timeout if timeout is _UNSET else timeout,
+                retries=self.retries,
+            )
 
-            for payload, raw in zip(pending, raw_results):
-                index = payload["index"]
+            def collect(position: int, raw: RawResult) -> None:
+                index = pending[position]["index"]
+                if results[index] is not None:
+                    return  # defensive: a backend reported this job twice
                 job = jobs[index]
                 if raw["status"] == "ok":
                     self.cache.put(keys[index], raw["result"])
@@ -194,18 +257,27 @@ class CompilationService:
                         status="ok",
                         result=result_from_dict(raw["result"]),
                         cached=False,
-                        elapsed=raw["elapsed"],
+                        elapsed=raw.get("elapsed", 0.0),
                         key=keys[index],
+                        attempts=raw.get("attempts", 1),
                     )
                 else:
                     results[index] = JobResult(
                         name=job.name,
                         status="error",
-                        error=raw["error"],
+                        error=raw.get("error", "unknown executor failure"),
                         cached=False,
-                        elapsed=raw["elapsed"],
+                        elapsed=raw.get("elapsed", 0.0),
                         key=keys[index],
+                        attempts=raw.get("attempts", 1),
                     )
+                emit(results[index], "miss")
+
+            raw_results = backend.run(pending, progress=collect, runner=execute_payload)
+            # Backends call ``collect`` as jobs finish; the ordered return
+            # value backstops any backend that does not.
+            for position, raw in enumerate(raw_results):
+                collect(position, raw)
 
             for index in duplicates:
                 raw = raw_results[dispatched[keys[index]]]
@@ -217,38 +289,23 @@ class CompilationService:
                         cached=False,
                         deduplicated=True,
                         key=keys[index],
+                        attempts=raw.get("attempts", 1),
                     )
                 else:
                     results[index] = JobResult(
                         name=jobs[index].name,
                         status="error",
-                        error=raw["error"],
+                        error=raw.get("error", "unknown executor failure"),
                         cached=False,
-                        elapsed=raw["elapsed"],
+                        elapsed=raw.get("elapsed", 0.0),
                         key=keys[index],
+                        attempts=raw.get("attempts", 1),
                     )
+                emit(results[index], "dedup")
 
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _run_parallel(
-        pending: List[Dict[str, Any]], worker_count: int
-    ) -> List[Dict[str, Any]]:
-        """Fan payloads across processes; falls back to inline execution
-        when the platform cannot spawn workers (e.g. sandboxed CI)."""
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        try:
-            with ProcessPoolExecutor(
-                max_workers=worker_count, mp_context=context
-            ) as executor:
-                return list(executor.map(_execute_payload, pending))
-        except (OSError, PermissionError):  # pragma: no cover - restricted env
-            return [_execute_payload(payload) for payload in pending]
-
     def cache_stats(self) -> Dict[str, Any]:
         stats = getattr(self.cache, "stats", None)
         return stats.as_dict() if stats is not None else {}

@@ -1,0 +1,309 @@
+"""Sharded content-addressed disk cache with usage stats and LRU pruning.
+
+:class:`ShardedDiskCacheStore` is a drop-in
+:class:`~repro.service.cache.DiskCacheStore` (same ``get``/``put``/
+``delete``/``keys``/``clear`` surface, same atomic temp-file + rename
+writes, so any number of worker processes can share one cache directory)
+that adds:
+
+* a configurable shard fan-out — keys land in
+  ``root/<k[:w]>/<k[w:2w]>/.../<key>.json`` for ``depth`` levels of
+  ``width`` hex characters.  The default ``depth=1, width=2`` layout is
+  byte-identical to the flat store's ``root/<k[:2]>/<key>.json``, so
+  existing cache directories and keys resolve unchanged;
+* a layout marker (``shard-layout.json``) written into the cache root so
+  reopening never silently mis-shards an existing directory;
+* access-time tracking (hits bump the entry mtime) feeding
+  :meth:`prune` — LRU-by-mtime eviction to a byte budget and/or a
+  maximum entry age, tolerant of concurrent writers and pruners; and
+* :meth:`usage` — entry/byte/shard accounting for ``phoenix cache stats``.
+
+Values are written through :func:`repro.serialize.jsonutil.canonical_json`
+so identical payloads are identical files regardless of which worker
+wrote them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.serialize.jsonutil import canonical_json
+from repro.service.cache import DiskCacheStore
+
+#: Name of the layout marker file kept in the cache root.
+LAYOUT_FILE = "shard-layout.json"
+
+#: Age (seconds) past which an orphaned ``*.tmp`` file from a crashed
+#: writer is reclaimed by :meth:`ShardedDiskCacheStore.prune`.
+STALE_TMP_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :meth:`ShardedDiskCacheStore.prune` call removed and kept."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
+    removed_tmp_files: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "removed_entries": self.removed_entries,
+            "removed_bytes": self.removed_bytes,
+            "kept_entries": self.kept_entries,
+            "kept_bytes": self.kept_bytes,
+            "removed_tmp_files": self.removed_tmp_files,
+        }
+
+
+class ShardedDiskCacheStore(DiskCacheStore):
+    """Sharded, prunable variant of the one-file-per-entry disk store."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        depth: Optional[int] = None,
+        width: Optional[int] = None,
+        touch_on_hit: bool = True,
+    ):
+        super().__init__(root)
+        self.depth, self.width = self._load_layout(depth, width)
+        self.touch_on_hit = touch_on_hit
+
+    # -- layout ---------------------------------------------------------
+    def _load_layout(
+        self, depth: Optional[int], width: Optional[int]
+    ) -> Tuple[int, int]:
+        """Reconcile requested fan-out with the directory's marker file.
+
+        An unmarked directory (fresh, or written by the flat store) is the
+        legacy ``depth=1, width=2`` layout unless told otherwise; explicit
+        arguments that contradict an existing marker are an error, not a
+        silent re-shard — and so is a marker that exists but cannot be
+        parsed, since guessing a layout would orphan every existing entry.
+        """
+        marker = self.root / LAYOUT_FILE
+        recorded: Optional[Dict[str, int]] = None
+        try:
+            data = json.loads(marker.read_text(encoding="utf-8"))
+            recorded = {"depth": int(data["depth"]), "width": int(data["width"])}
+        except FileNotFoundError:
+            recorded = None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"unreadable shard layout marker {marker}: {exc}; refusing to "
+                "guess the fan-out of an existing cache (delete the marker to "
+                "re-adopt the directory at an explicit depth/width)"
+            ) from exc
+        if recorded is not None:
+            for name, requested in (("depth", depth), ("width", width)):
+                if requested is not None and int(requested) != recorded[name]:
+                    raise ValueError(
+                        f"cache at {self.root} is sharded with "
+                        f"{name}={recorded[name]}, not {name}={requested}"
+                    )
+            return recorded["depth"], recorded["width"]
+        resolved = (1 if depth is None else int(depth), 2 if width is None else int(width))
+        if resolved[0] < 1 or resolved[1] < 1:
+            raise ValueError(f"shard depth/width must be >= 1, got {resolved}")
+        try:
+            # Same atomic temp-file + rename as entries: a crash mid-write
+            # must never leave a truncated marker behind.
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(
+                    canonical_json({"depth": resolved[0], "width": resolved[1]})
+                )
+            os.replace(tmp_name, marker)
+        except OSError:  # pragma: no cover - read-only cache directory
+            pass
+        return resolved
+
+    @property
+    def _entry_glob(self) -> str:
+        return "/".join(["*"] * self.depth) + "/*.json"
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        if len(key) < self.depth * self.width + 1:
+            raise ValueError(
+                f"cache key {key!r} is too short for a depth={self.depth}, "
+                f"width={self.width} shard layout"
+            )
+        shard = self.root
+        for level in range(self.depth):
+            shard = shard / key[level * self.width : (level + 1) * self.width]
+        return shard / f"{key}.json"
+
+    # -- store surface ---------------------------------------------------
+    def touch(self, key: str) -> None:
+        """Bump the entry mtime so LRU pruning sees this access.
+
+        Called on every direct hit, and by :class:`TieredCache` when its
+        memory tier absorbs a hit that would otherwise leave the disk
+        entry looking cold.
+        """
+        if not self.touch_on_hit:
+            return
+        try:
+            os.utime(self._path(key))
+        except OSError:  # entry raced away or read-only store: LRU only
+            pass
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        value = super().get(key)
+        if value is not None:
+            self.touch(key)
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        # Same atomic temp-file + rename as the base class, but through the
+        # canonical encoder so concurrent writers of one key produce
+        # byte-identical files and either rename wins losslessly.
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(value))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def keys(self):
+        for path in sorted(self.root.glob(self._entry_glob)):
+            yield path.stem
+
+    def clear(self) -> int:
+        count = 0
+        for path in self.root.glob(self._entry_glob):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # -- accounting and eviction -----------------------------------------
+    def _entries(self) -> List[Tuple[Path, float, int]]:
+        """(path, mtime, size) per entry; entries racing away are skipped."""
+        entries = []
+        for path in self.root.glob(self._entry_glob):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    def usage(self) -> Dict[str, Any]:
+        """Entry/byte/shard accounting plus live hit/miss counters."""
+        entries = self._entries()
+        per_shard: Dict[str, int] = {}
+        for path, _, _ in entries:
+            shard = str(path.parent.relative_to(self.root))
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+        mtimes = [mtime for _, mtime, _ in entries]
+        return {
+            "root": str(self.root),
+            "depth": self.depth,
+            "width": self.width,
+            "entries": len(entries),
+            "total_bytes": sum(size for _, _, size in entries),
+            "shards": len(per_shard),
+            "max_shard_entries": max(per_shard.values()) if per_shard else 0,
+            "oldest_mtime": min(mtimes) if mtimes else None,
+            "newest_mtime": max(mtimes) if mtimes else None,
+            "session": self.stats.as_dict(),
+        }
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> PruneReport:
+        """Evict entries: first everything older than ``max_age`` seconds,
+        then least-recently-used (by mtime, which hits refresh) until the
+        store fits in ``max_bytes``.  Safe to run while writers are active;
+        also sweeps temp files orphaned by crashed writers."""
+        now = time.time() if now is None else now
+        removed_tmp = 0
+        tmp_glob = "/".join(["*"] * self.depth) + "/*.tmp"
+        for tmp in self.root.glob(tmp_glob):
+            try:
+                if now - tmp.stat().st_mtime > STALE_TMP_SECONDS:
+                    tmp.unlink()
+                    removed_tmp += 1
+            except OSError:
+                continue
+
+        entries = sorted(self._entries(), key=lambda entry: entry[1])  # LRU first
+        removed_entries = removed_bytes = 0
+        kept: List[Tuple[Path, float, int]] = []
+        for path, mtime, size in entries:
+            if max_age is not None and now - mtime > max_age:
+                if self._remove(path):
+                    removed_entries += 1
+                    removed_bytes += size
+            else:
+                kept.append((path, mtime, size))
+        if max_bytes is not None:
+            kept_bytes = sum(size for _, _, size in kept)
+            survivors = []
+            for path, mtime, size in kept:  # LRU order: oldest evicted first
+                if kept_bytes > max_bytes:
+                    kept_bytes -= size
+                    if self._remove(path):
+                        removed_entries += 1
+                        removed_bytes += size
+                else:
+                    survivors.append((path, mtime, size))
+            kept = survivors
+        self._sweep_empty_shards()
+        return PruneReport(
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            kept_entries=len(kept),
+            kept_bytes=sum(size for _, _, size in kept),
+            removed_tmp_files=removed_tmp,
+        )
+
+    @staticmethod
+    def _remove(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:  # a concurrent pruner/writer got there first
+            return False
+
+    def _sweep_empty_shards(self) -> None:
+        """Drop now-empty shard directories; racing writers recreate them."""
+        levels = ["/".join(["*"] * level) for level in range(self.depth, 0, -1)]
+        for pattern in levels:
+            for shard in self.root.glob(pattern):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass

@@ -124,3 +124,24 @@ class TestResultRoundTrip:
         assert rebuilt.routed.initial_mapping == result.routed.initial_mapping
         assert rebuilt.routed.final_mapping == result.routed.final_mapping
         assert rebuilt.routed.topology.fingerprint() == topology.fingerprint()
+
+
+class TestCanonicalJson:
+    def test_sorted_compact_and_stable(self):
+        from repro.serialize import canonical_json, canonical_json_bytes
+
+        text = canonical_json({"b": [1, 2], "a": {"z": 1, "y": 2}})
+        assert text == '{"a":{"y":2,"z":1},"b":[1,2]}'
+        assert canonical_json_bytes({"b": [1, 2], "a": {"z": 1, "y": 2}}) == (
+            text.encode("utf-8")
+        )
+        # Key order of the input never leaks into the bytes.
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_non_finite_floats_rejected(self):
+        from repro.serialize import canonical_json
+
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("inf")})

@@ -204,3 +204,38 @@ class TestHarnessThroughService:
         )
         assert suite["tiny"]["custom"].metrics.cx_count > 0
         assert service.cache.stats.puts == 0  # never went through the service
+
+
+class TestBatchTimeoutOverride:
+    def _capture_resolve(self, monkeypatch):
+        import repro.service.service as service_module
+
+        captured = {}
+        real = service_module.resolve_executor
+
+        def spy(spec, **kwargs):
+            captured.update(kwargs)
+            return real("serial", **kwargs)
+
+        monkeypatch.setattr(service_module, "resolve_executor", spy)
+        return captured
+
+    def test_omitted_timeout_inherits_service_default(
+        self, tiny_program, monkeypatch
+    ):
+        captured = self._capture_resolve(monkeypatch)
+        service = CompilationService(timeout=120.0)
+        service.compile_many([CompilationJob("a", tiny_program)])
+        assert captured["timeout"] == 120.0
+
+    def test_explicit_none_means_unlimited(self, tiny_program, monkeypatch):
+        captured = self._capture_resolve(monkeypatch)
+        service = CompilationService(timeout=120.0)
+        service.compile_many([CompilationJob("a", tiny_program)], timeout=None)
+        assert captured["timeout"] is None
+
+    def test_explicit_value_overrides(self, tiny_program, monkeypatch):
+        captured = self._capture_resolve(monkeypatch)
+        service = CompilationService(timeout=120.0)
+        service.compile_many([CompilationJob("a", tiny_program)], timeout=7.5)
+        assert captured["timeout"] == 7.5

@@ -1,0 +1,318 @@
+"""Sharded disk cache: layout, stats, pruning, and concurrent writers.
+
+The concurrency tests fork real OS processes against one cache
+directory: the atomic temp-file + rename contract must leave exactly one
+valid entry per key and zero corrupt or leftover files no matter how the
+writers interleave.  Worker functions live at module level so the
+``fork``/``spawn`` start methods can both import them.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serialize.jsonutil import canonical_json
+from repro.service.cache import DiskCacheStore, TieredCache, open_cache
+from repro.service.shardcache import (
+    LAYOUT_FILE,
+    STALE_TMP_SECONDS,
+    PruneReport,
+    ShardedDiskCacheStore,
+)
+
+KEY = "deadbeef0123456789-cafe"
+
+
+def _entry_files(root):
+    return [p for p in Path(root).rglob("*.json") if p.name != LAYOUT_FILE]
+
+
+class TestLayout:
+    def test_default_layout_matches_flat_store(self, tmp_path):
+        """depth=1, width=2 must be byte-compatible with DiskCacheStore."""
+        flat = DiskCacheStore(tmp_path / "cache")
+        flat.put(KEY, {"value": 1})
+        sharded = ShardedDiskCacheStore(tmp_path / "cache")
+        assert sharded.get(KEY) == {"value": 1}
+        assert sharded._path(KEY) == flat._path(KEY)
+
+    def test_flat_store_reads_sharded_writes(self, tmp_path):
+        sharded = ShardedDiskCacheStore(tmp_path / "cache")
+        sharded.put(KEY, {"value": 2})
+        assert DiskCacheStore(tmp_path / "cache").get(KEY) == {"value": 2}
+
+    def test_deeper_fanout_path(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache", depth=2, width=3)
+        store.put(KEY, {"value": 3})
+        path = store._path(KEY)
+        assert path == tmp_path / "cache" / KEY[:3] / KEY[3:6] / f"{KEY}.json"
+        assert path.exists()
+        assert store.get(KEY) == {"value": 3}
+
+    def test_layout_marker_recorded_and_reloaded(self, tmp_path):
+        ShardedDiskCacheStore(tmp_path / "cache", depth=2, width=1)
+        marker = json.loads((tmp_path / "cache" / LAYOUT_FILE).read_text())
+        assert marker == {"depth": 2, "width": 1}
+        # Reopening without arguments picks up the recorded fan-out.
+        reopened = ShardedDiskCacheStore(tmp_path / "cache")
+        assert (reopened.depth, reopened.width) == (2, 1)
+
+    def test_conflicting_layout_rejected_not_resharded(self, tmp_path):
+        ShardedDiskCacheStore(tmp_path / "cache", depth=1, width=2)
+        with pytest.raises(ValueError, match="depth=1"):
+            ShardedDiskCacheStore(tmp_path / "cache", depth=3)
+        with pytest.raises(ValueError, match="width=2"):
+            ShardedDiskCacheStore(tmp_path / "cache", width=4)
+
+    def test_corrupt_marker_rejected_not_resharded(self, tmp_path):
+        """A torn marker must fail loudly, never guess a layout."""
+        store = ShardedDiskCacheStore(tmp_path / "cache", depth=2, width=2)
+        store.put(KEY, {"value": 1})
+        (tmp_path / "cache" / LAYOUT_FILE).write_text('{"dep', encoding="utf-8")
+        with pytest.raises(ValueError, match="unreadable shard layout"):
+            ShardedDiskCacheStore(tmp_path / "cache")
+        # The entry written under the real layout is untouched.
+        (tmp_path / "cache" / LAYOUT_FILE).unlink()
+        recovered = ShardedDiskCacheStore(tmp_path / "cache", depth=2, width=2)
+        assert recovered.get(KEY) == {"value": 1}
+
+    def test_matching_explicit_layout_accepted(self, tmp_path):
+        ShardedDiskCacheStore(tmp_path / "cache", depth=2, width=2)
+        reopened = ShardedDiskCacheStore(tmp_path / "cache", depth=2, width=2)
+        assert (reopened.depth, reopened.width) == (2, 2)
+
+    def test_invalid_layouts_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="depth/width"):
+            ShardedDiskCacheStore(tmp_path / "cache", depth=0)
+        with pytest.raises(ValueError, match="depth/width"):
+            ShardedDiskCacheStore(tmp_path / "other", width=0)
+
+    def test_key_too_short_for_layout(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache", depth=4, width=8)
+        with pytest.raises(ValueError, match="too short"):
+            store.put("abc", {"value": 1})
+
+    def test_path_separators_rejected(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        for bad in ("", "a/b", "a\\b", "../escape"):
+            with pytest.raises(ValueError):
+                store._path(bad)
+
+
+class TestStoreSurface:
+    def test_round_trip_delete_contains_len(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        keys = [f"{i:02x}{KEY}" for i in range(8)]
+        for i, key in enumerate(keys):
+            store.put(key, {"value": i})
+        assert len(store) == 8
+        assert sorted(store.keys()) == sorted(keys)
+        assert keys[3] in store and "ff" + KEY not in store
+        assert store.delete(keys[3]) is True
+        assert store.delete(keys[3]) is False
+        assert len(store) == 7
+        assert store.clear() == 7
+        assert len(store) == 0
+
+    def test_canonical_bytes_on_disk(self, tmp_path):
+        """Entries are canonical JSON, so equal payloads are equal files."""
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        store.put(KEY, {"b": 2, "a": 1})
+        raw = store._path(KEY).read_text(encoding="utf-8")
+        assert raw == canonical_json({"a": 1, "b": 2})
+
+    def test_hits_bump_mtime_for_lru(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        store.put(KEY, {"value": 1})
+        past = time.time() - 1000
+        os.utime(store._path(KEY), (past, past))
+        store.get(KEY)
+        assert store._path(KEY).stat().st_mtime > past + 500
+
+    def test_touch_on_hit_disabled(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache", touch_on_hit=False)
+        store.put(KEY, {"value": 1})
+        past = time.time() - 1000
+        os.utime(store._path(KEY), (past, past))
+        store.get(KEY)
+        assert store._path(KEY).stat().st_mtime == pytest.approx(past)
+
+    def test_memory_tier_hits_still_touch_disk_entry(self, tmp_path):
+        """Promotion to memory must not freeze the disk mtime for LRU."""
+        cache = open_cache(tmp_path / "cache")
+        cache.put(KEY, {"value": 1})
+        path = cache.disk._path(KEY)
+        past = time.time() - 1000
+        os.utime(path, (past, past))
+        cache.get(KEY)  # promotes to memory (disk hit touches)
+        os.utime(path, (past, past))
+        cache.get(KEY)  # pure memory hit — must still bump the disk mtime
+        assert path.stat().st_mtime > past + 500
+
+    def test_tiered_composition_with_memory_front(self, tmp_path):
+        cache = open_cache(tmp_path / "cache")
+        assert isinstance(cache, TieredCache)
+        assert isinstance(cache.disk, ShardedDiskCacheStore)
+        cache.put(KEY, {"value": 9})
+        # A fresh tier over the same directory hits disk, promotes to memory.
+        fresh = open_cache(tmp_path / "cache")
+        assert fresh.get(KEY) == {"value": 9}
+        assert KEY in fresh.memory
+
+
+class TestUsage:
+    def test_usage_accounting(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        for i in range(6):
+            store.put(f"{i % 2:02x}{KEY}", {"value": i})
+        usage = store.usage()
+        assert usage["entries"] == 2  # two distinct keys
+        assert usage["shards"] == 2
+        assert usage["max_shard_entries"] == 1
+        assert usage["depth"] == 1 and usage["width"] == 2
+        assert usage["total_bytes"] == sum(p.stat().st_size for p in _entry_files(store.root))
+        assert usage["oldest_mtime"] is not None
+        assert usage["session"]["puts"] == 6
+
+    def test_usage_empty(self, tmp_path):
+        usage = ShardedDiskCacheStore(tmp_path / "cache").usage()
+        assert usage["entries"] == 0
+        assert usage["total_bytes"] == 0
+        assert usage["oldest_mtime"] is None
+
+
+class TestPrune:
+    def _aged_store(self, tmp_path, ages):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        now = time.time()
+        for i, age in enumerate(ages):
+            key = f"{i:02x}{KEY}"
+            store.put(key, {"value": i, "pad": "x" * 100})
+            os.utime(store._path(key), (now - age, now - age))
+        return store, now
+
+    def test_prune_by_age(self, tmp_path):
+        store, now = self._aged_store(tmp_path, [10.0, 5000.0, 20.0])
+        report = store.prune(max_age=3600.0, now=now)
+        assert report.removed_entries == 1
+        assert report.kept_entries == 2
+        assert sorted(store.keys()) == [f"00{KEY}", f"02{KEY}"]
+
+    def test_prune_by_bytes_evicts_lru_first(self, tmp_path):
+        store, now = self._aged_store(tmp_path, [30.0, 10.0, 20.0])
+        sizes = {p.stem: p.stat().st_size for p in _entry_files(store.root)}
+        total = sum(sizes.values())
+        # Budget for exactly two entries: the oldest (index 0) must go.
+        report = store.prune(max_bytes=total - 1, now=now)
+        assert report.removed_entries == 1
+        assert f"00{KEY}" not in list(store.keys())
+        assert report.kept_bytes <= total - sizes[f"00{KEY}"]
+
+    def test_prune_no_limits_is_noop(self, tmp_path):
+        store, now = self._aged_store(tmp_path, [10.0, 20.0])
+        report = store.prune(now=now)
+        assert report.removed_entries == 0
+        assert report.kept_entries == 2
+
+    def test_prune_sweeps_stale_tmp_files(self, tmp_path):
+        store, now = self._aged_store(tmp_path, [10.0])
+        shard = store._path(f"00{KEY}").parent
+        stale = shard / "crashed-writer.tmp"
+        stale.write_text("partial", encoding="utf-8")
+        os.utime(stale, (now - STALE_TMP_SECONDS - 10, now - STALE_TMP_SECONDS - 10))
+        fresh = shard / "active-writer.tmp"
+        fresh.write_text("partial", encoding="utf-8")
+        report = store.prune(max_age=3600.0, now=now)
+        assert report.removed_tmp_files == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_prune_sweeps_empty_shards(self, tmp_path):
+        store, now = self._aged_store(tmp_path, [5000.0])
+        shard = store._path(f"00{KEY}").parent
+        store.prune(max_age=3600.0, now=now)
+        assert not shard.exists()
+        assert store.root.exists()
+
+    def test_report_as_dict(self):
+        report = PruneReport(removed_entries=1, removed_bytes=2, kept_entries=3,
+                             kept_bytes=4, removed_tmp_files=5)
+        assert report.as_dict() == {
+            "removed_entries": 1, "removed_bytes": 2, "kept_entries": 3,
+            "kept_bytes": 4, "removed_tmp_files": 5,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers: real processes, one cache directory.
+
+def hammer_writer(root, worker_id, keys, rounds):
+    """Write every key `rounds` times, interleaved with the other workers."""
+    store = ShardedDiskCacheStore(root)
+    for round_number in range(rounds):
+        for key in keys:
+            store.put(key, {"key": key, "payload": list(range(50))})
+    return worker_id
+
+
+def compile_workload_against_cache(root, spec):
+    """One process of the compile-the-same-workload-twice race."""
+    from repro.service.registry import CompilerOptions
+    from repro.service.service import CompilationJob, CompilationService
+    from repro.workloads.registry import workload_from_spec
+
+    workload = workload_from_spec(spec)
+    service = CompilationService(cache=open_cache(root), executor="serial")
+    job = CompilationJob(workload.name, workload.to_terms(), CompilerOptions())
+    result = service.compile_many([job], workers=1)[0]
+    assert result.ok, result.error
+    return result.key
+
+
+def _run_in_processes(target, argses):
+    context = multiprocessing.get_context("fork")
+    processes = [context.Process(target=target, args=args) for args in argses]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    exit_codes = [process.exitcode for process in processes]
+    assert exit_codes == [0] * len(processes), exit_codes
+
+
+class TestConcurrentWriters:
+    def test_many_writers_one_valid_entry_per_key(self, tmp_path):
+        """Racing writers of identical keys leave one parseable file each."""
+        root = tmp_path / "cache"
+        keys = [f"{i:02x}{KEY}" for i in range(4)]
+        _run_in_processes(
+            hammer_writer, [(str(root), w, keys, 10) for w in range(4)]
+        )
+        store = ShardedDiskCacheStore(root)
+        assert sorted(store.keys()) == sorted(keys)
+        for key in keys:
+            value = store.get(key)  # json.load would raise on a torn write
+            assert value == {"key": key, "payload": list(range(50))}
+        entry_files = _entry_files(root)
+        assert len(entry_files) == len(keys)
+        assert not list(Path(root).rglob("*.tmp"))
+
+    def test_two_processes_compile_same_workload(self, tmp_path):
+        """The ISSUE acceptance race: same spec, one shared shard cache."""
+        root = tmp_path / "cache"
+        spec = "tfim:n=6,lattice=chain"
+        _run_in_processes(
+            compile_workload_against_cache, [(str(root), spec)] * 2
+        )
+        store = ShardedDiskCacheStore(root)
+        entries = list(store.keys())
+        assert len(entries) == 1  # both processes agreed on one cache key
+        value = store.get(entries[0])
+        assert value is not None and "circuit" in value
+        assert not list(Path(root).rglob("*.tmp"))
+        # And a third, in-process compile is a pure cache hit.
+        assert compile_workload_against_cache(str(root), spec) == entries[0]
+        assert len(list(store.keys())) == 1
