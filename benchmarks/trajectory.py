@@ -1,0 +1,239 @@
+"""Render a performance-trajectory report from saved bench artifacts.
+
+``python -m repro.bench`` writes one ``BENCH_service.json`` per run; CI
+uploads them nightly.  This tool reads a directory of such files (any
+names, scanned recursively for ``*.json`` that carry the bench format
+marker), orders them by their ``generated_at`` timestamp (falling back
+to file mtime for reports that predate the field), and renders the
+trajectory — jobs/sec for the serial and process passes, speedup, warm
+hit rate, byte-identical equivalence, core count — as a markdown table
+plus a per-stage median-seconds history, or as machine-readable JSON.
+
+Dependency-free on the compiler stack by design: it only parses JSON,
+so it runs anywhere the artifacts are (a CI runner downloading artifact
+history, a laptop with a pile of old reports).
+
+Usage::
+
+    python benchmarks/trajectory.py artifacts/ --format markdown
+    python benchmarks/trajectory.py artifacts/ --format json -o trend.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Accepted values of the report's ``format`` field.
+KNOWN_FORMATS = ("phoenix-bench-service-1",)
+
+
+def load_reports(directory: Path) -> List[Dict[str, Any]]:
+    """Load every bench report under ``directory``, oldest first.
+
+    Non-bench JSON files (and unparseable ones) are skipped silently so
+    the tool can be pointed at a mixed artifact download.  Each returned
+    report gains ``_source`` (the file path) and ``_order_key`` (the
+    ``generated_at`` ISO timestamp, else the file mtime as a float —
+    ISO strings and floats never mix within one well-formed history, and
+    mtime-only legacy reports still sort consistently among themselves).
+    """
+    reports: List[Dict[str, Any]] = []
+    for path in sorted(directory.rglob("*.json")):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(data, dict) or data.get("format") not in KNOWN_FORMATS:
+            continue
+        data["_source"] = str(path)
+        data["_order_key"] = data.get("generated_at") or path.stat().st_mtime
+        reports.append(data)
+    # mtime-keyed (float) reports sort before ISO-keyed (str) ones; the
+    # leading bool keeps the comparison type-homogeneous within each group.
+    reports.sort(key=lambda report: (isinstance(report["_order_key"], str),
+                                     report["_order_key"]))
+    return reports
+
+
+def _label(report: Dict[str, Any]) -> str:
+    generated = report.get("generated_at")
+    if generated:
+        return str(generated)[:19].replace("T", " ")
+    return Path(report["_source"]).name
+
+
+def trajectory_rows(reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One summary row per report, in trajectory order."""
+    rows = []
+    for report in reports:
+        serial = report.get("serial", {})
+        process = report.get("process", {})
+        warm = report.get("warm", {})
+        environment = report.get("environment", {})
+        rows.append(
+            {
+                "label": _label(report),
+                "source": report["_source"],
+                "suite_version": report.get("suite_version"),
+                "serial_jobs_per_second": serial.get("jobs_per_second"),
+                "process_jobs_per_second": process.get("jobs_per_second"),
+                "warm_jobs_per_second": warm.get("jobs_per_second"),
+                "speedup": report.get("speedup"),
+                "warm_hit_rate": warm.get("hit_rate"),
+                "byte_identical": report.get("equivalence", {}).get(
+                    "byte_identical"
+                ),
+                "workers": process.get("workers"),
+                "effective_workers": process.get("effective_workers"),
+                "cpu_count": environment.get("cpu_count"),
+            }
+        )
+    return rows
+
+
+def stage_history(
+    reports: Sequence[Dict[str, Any]],
+) -> Dict[str, List[Optional[float]]]:
+    """Per-stage median seconds per report (None where a stage is absent).
+
+    Older reports recorded only total/mean/max; fall back to the mean so
+    a mixed history still charts.
+    """
+    stages: List[str] = []
+    for report in reports:
+        for stage in report.get("stage_timings", {}):
+            if stage not in stages:
+                stages.append(stage)
+    history: Dict[str, List[Optional[float]]] = {stage: [] for stage in stages}
+    for report in reports:
+        timings = report.get("stage_timings", {})
+        for stage in stages:
+            entry = timings.get(stage)
+            if entry is None:
+                history[stage].append(None)
+            else:
+                history[stage].append(
+                    entry.get("p50_seconds", entry.get("mean_seconds"))
+                )
+    return history
+
+
+def _fmt(value: Any, spec: str = ".2f", suffix: str = "") -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    return f"{value:{spec}}{suffix}"
+
+
+def render_markdown(reports: Sequence[Dict[str, Any]]) -> str:
+    """The human-facing trajectory: summary table + stage history."""
+    lines = ["# Bench trajectory", ""]
+    if not reports:
+        lines.append("_No bench reports found._")
+        return "\n".join(lines) + "\n"
+    lines.append(f"{len(reports)} report(s), oldest first.")
+    lines.append("")
+    lines.append(
+        "| run | serial j/s | process j/s | speedup | warm hit rate | "
+        "byte-identical | workers (eff/req) | cores |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for row in trajectory_rows(reports):
+        workers = (
+            f"{row['effective_workers'] or row['workers'] or '—'}"
+            f"/{row['workers'] or '—'}"
+        )
+        lines.append(
+            "| {label} | {serial} | {process} | {speedup} | {hits} | "
+            "{identical} | {workers} | {cores} |".format(
+                label=row["label"],
+                serial=_fmt(row["serial_jobs_per_second"]),
+                process=_fmt(row["process_jobs_per_second"]),
+                speedup=_fmt(row["speedup"], ".2f", "x"),
+                hits=_fmt(
+                    None
+                    if row["warm_hit_rate"] is None
+                    else row["warm_hit_rate"] * 100,
+                    ".0f",
+                    "%",
+                ),
+                identical=_fmt(row["byte_identical"]),
+                workers=workers,
+                cores=row["cpu_count"] if row["cpu_count"] is not None else "—",
+            )
+        )
+
+    history = stage_history(reports)
+    if history:
+        lines.append("")
+        lines.append("## Per-stage median seconds")
+        lines.append("")
+        labels = [_label(report) for report in reports]
+        lines.append("| stage | " + " | ".join(labels) + " |")
+        lines.append("|---|" + "---|" * len(labels))
+        order = sorted(
+            history,
+            key=lambda stage: -max(
+                (value for value in history[stage] if value is not None),
+                default=0.0,
+            ),
+        )
+        for stage in order:
+            cells = " | ".join(_fmt(value, ".4f") for value in history[stage])
+            lines.append(f"| {stage} | {cells} |")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(reports: Sequence[Dict[str, Any]]) -> str:
+    payload = {
+        "reports": len(reports),
+        "trajectory": trajectory_rows(reports),
+        "stage_history": stage_history(reports),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/trajectory.py",
+        description="Render the bench-trajectory report from a directory "
+                    "of BENCH_service.json artifacts.",
+    )
+    parser.add_argument(
+        "directory", type=Path,
+        help="directory scanned recursively for bench report JSON files",
+    )
+    parser.add_argument(
+        "--format", choices=("markdown", "json"), default="markdown",
+        help="output format (default: markdown)",
+    )
+    parser.add_argument(
+        "--output", "-o", default="-",
+        help="output file (default: '-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.directory.is_dir():
+        sys.stderr.write(f"error: {args.directory} is not a directory\n")
+        return 1
+    reports = load_reports(args.directory)
+    rendered = (
+        render_markdown(reports) if args.format == "markdown"
+        else render_json(reports)
+    )
+    if args.output == "-":
+        sys.stdout.write(rendered)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    sys.stderr.write(f"{len(reports)} bench report(s) in {args.directory}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

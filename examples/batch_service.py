@@ -12,14 +12,19 @@ resolve compilers from that one registry.
 Run it twice to see the second run served entirely from cache, and pass
 ``--workers N`` to fan the cache misses out across a process pool
 (``--workers 1`` stays inline; the default lets the service decide from
-the job count and CPU budget).
+the job count and CPU budget).  ``--trace-out batch.jsonl`` records the
+whole batch as a span tree (one JSON object per span: the batch, each
+job, each worker-side compile attempt, each pipeline stage) via
+``repro.obs`` — the same tracing ``phoenix batch --trace-out`` uses.
 
 Run with:  python examples/batch_service.py [cache_dir] [--workers N]
+                                            [--trace-out TRACE.jsonl]
 """
 
 import argparse
 import time
 
+import repro.obs as obs
 from repro import PhoenixCompiler, register_compiler
 from repro.chemistry import benchmark_program
 from repro.experiments import format_table
@@ -70,6 +75,10 @@ def main() -> None:
         help="worker processes for cache misses (1 = inline serial; "
              "default: min(#misses, cpu_count))",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="TRACE.jsonl",
+        help="write the batch's span tree as JSON lines to this file",
+    )
     args = parser.parse_args()
     cache_dir = args.cache_dir
     service = CompilationService(cache=open_cache(cache_dir))
@@ -88,8 +97,16 @@ def main() -> None:
         )
         for name in BENCHMARKS[:1]
     ]
+    sink = obs.JsonlSink(args.trace_out) if args.trace_out else None
+    if sink is not None:
+        obs.set_sink(sink)
     started = time.perf_counter()
-    results = service.compile_many(jobs, workers=args.workers)
+    try:
+        results = service.compile_many(jobs, workers=args.workers)
+    finally:
+        if sink is not None:
+            obs.set_sink(None)
+            sink.close()
     elapsed = time.perf_counter() - started
 
     rows = [
@@ -108,6 +125,9 @@ def main() -> None:
     workers = args.workers if args.workers is not None else "auto"
     print(f"\nbatch of {len(jobs)} jobs took {elapsed:.2f}s "
           f"(workers: {workers}, cache: {cache_dir!r}; rerun to hit it)")
+    if args.trace_out:
+        print(f"span trace written to {args.trace_out!r} "
+              "(one JSON object per span; jq-friendly)")
 
 
 if __name__ == "__main__":

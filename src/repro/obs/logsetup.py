@@ -1,0 +1,96 @@
+"""Structured-logging configuration for the ``repro`` logger tree.
+
+Library modules log through plain ``logging.getLogger(__name__)``
+loggers (all under the ``repro`` root); nothing is emitted until an
+application opts in.  :func:`configure` is that opt-in — the ``phoenix``
+CLI exposes it as ``--log-level`` / ``--log-json``, and embedding code
+calls it directly::
+
+    import repro.obs
+    repro.obs.configure(level="DEBUG", json_lines=True)
+
+``json_lines=True`` renders one JSON object per record (ts, level,
+logger, message, plus any ``extra={...}`` fields), which machines parse
+and ``jq`` filters; the default is a conventional human-readable line.
+Re-configuring replaces the handler installed by the previous call, so
+tests and REPLs can toggle freely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO, Union
+
+__all__ = ["configure", "JsonLinesFormatter"]
+
+#: Root of the library's logger tree.
+ROOT_LOGGER = "repro"
+
+#: ``LogRecord`` attributes that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ) + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(
+    level: Union[int, str] = "INFO",
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Attach a handler to the ``repro`` logger tree and set its level.
+
+    Replaces any handler a previous :func:`configure` installed (marked
+    with a private attribute, so application handlers are left alone)
+    and stops propagation to the root logger to avoid double emission.
+    Returns the configured ``repro`` logger.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.handlers = [
+        existing
+        for existing in logger.handlers
+        if not getattr(existing, "_repro_obs_handler", False)
+        and not isinstance(existing, logging.NullHandler)
+    ]
+    logger.addHandler(handler)
+    return logger

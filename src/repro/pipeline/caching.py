@@ -12,11 +12,16 @@ fingerprint.  This replaces the inline cache branch the old
 
 from __future__ import annotations
 
+import logging
 from typing import List, Sequence
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.paulis.pauli import PauliTerm
 from repro.pipeline.options import Program, as_terms
 from repro.pipeline.stage import PipelineHook
+
+logger = logging.getLogger(__name__)
 
 
 class CachingCompiler:
@@ -56,10 +61,21 @@ class CachingCompiler:
         from repro.serialize.results import result_from_dict, result_to_dict
 
         terms = as_terms(program)
-        key = self.cache_key(terms)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return result_from_dict(cached)
-        result = self.compiler.compile_terms(terms, hooks=hooks)
-        self.cache.put(key, result_to_dict(result))
-        return result
+        with obs_trace.span(
+            "cached_compile", compiler=self.name, terms=len(terms)
+        ) as current_span:
+            key = self.cache_key(terms)
+            cached = self.cache.get(key)
+            if cached is not None:
+                obs_metrics.counter(
+                    "repro_cache_hits_total", layer="compiler"
+                ).inc()
+                logger.debug("cache hit for %s (key %s)", self.name, key)
+                current_span.update(outcome="hit", key=key)
+                return result_from_dict(cached)
+            obs_metrics.counter("repro_cache_misses_total", layer="compiler").inc()
+            logger.debug("cache miss for %s (key %s); compiling", self.name, key)
+            current_span.update(outcome="miss", key=key)
+            result = self.compiler.compile_terms(terms, hooks=hooks)
+            self.cache.put(key, result_to_dict(result))
+            return result

@@ -29,6 +29,8 @@ from typing import (
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.metrics.circuit_metrics import CircuitMetrics
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.paulis.pauli import PauliTerm
 from repro.pipeline.options import CompileOptions, Program, as_terms
 
@@ -133,17 +135,29 @@ class Pipeline:
     def run(
         self, context: CompileContext, hooks: Sequence[PipelineHook] = ()
     ) -> CompileContext:
-        """Run every stage in order, recording per-stage wall-clock timings."""
+        """Run every stage in order, recording per-stage wall-clock timings.
+
+        Each stage also runs inside a trace span (``stage:<name>``, a
+        no-op unless a sink is configured) and feeds the
+        ``repro_stage_seconds`` duration histogram of the default
+        metrics registry.
+        """
         hooks = list(hooks)
         for stage in self.stages:
             for hook in hooks:
                 before = getattr(hook, "before_stage", None)
                 if before is not None:
                     before(stage, context)
-            started = time.perf_counter()
-            stage.run(context)
-            elapsed = time.perf_counter() - started
+            with obs_trace.span(
+                f"stage:{stage.name}", stage=stage.name, qubits=context.num_qubits
+            ):
+                started = time.perf_counter()
+                stage.run(context)
+                elapsed = time.perf_counter() - started
             context.stage_timings[stage.name] = elapsed
+            obs_metrics.histogram("repro_stage_seconds", stage=stage.name).observe(
+                elapsed
+            )
             for hook in hooks:
                 after = getattr(hook, "after_stage", None)
                 if after is not None:

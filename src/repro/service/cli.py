@@ -7,6 +7,10 @@ registry::
     phoenix compile --input program.json --format qasm --output out.qasm
     phoenix batch LiH_frz_JW NH_frz_BK --workers 4 --cache-dir .phoenix-cache
     phoenix batch --manifest jobs.json --executor process --timeout 120
+    phoenix batch --manifest jobs.json --trace-out trace.jsonl \
+        --metrics-out metrics.prom --log-level info
+    phoenix profile --limit 4
+    phoenix profile --input batch-summaries.json
     phoenix cache stats --cache-dir .phoenix-cache
     phoenix cache prune --cache-dir .phoenix-cache --max-bytes 200M --max-age 7d
     phoenix workload list
@@ -21,6 +25,13 @@ generated from the workload registry by ``family:key=val,...`` spec
 strings (``workload`` subcommands and the ``"workload"`` key of batch
 manifest entries).  Run ``python -m repro.service.cli --help`` (or the
 installed ``phoenix`` entry point) for the full flag reference.
+
+Observability: every subcommand accepts ``--log-level``/``--log-json``
+(structured logging via :func:`repro.obs.configure`); ``batch`` adds
+``--trace-out`` (JSONL span trace of the whole batch, per-job spans
+nesting per-stage spans) and ``--metrics-out`` (Prometheus text or,
+with a ``.json`` suffix, a snapshot dict); ``profile`` aggregates
+per-stage timings across a suite and names the hottest stage.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.serialize.results import (
     result_to_dict,
     terms_from_dict,
@@ -260,13 +272,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     service = CompilationService(cache=open_cache(args.cache_dir))
     progress = None if args.quiet else _stderr_progress
-    job_results = service.compile_many(
-        jobs,
-        workers=args.workers,
-        executor=args.executor,
-        timeout=args.timeout,
-        progress=progress,
-    )
+    trace_sink: Optional[obs.JsonlSink] = None
+    previous_sink = None
+    if args.trace_out:
+        trace_sink = obs.JsonlSink(args.trace_out)
+        previous_sink = obs.set_sink(trace_sink)
+    try:
+        job_results = service.compile_many(
+            jobs,
+            workers=args.workers,
+            executor=args.executor,
+            timeout=args.timeout,
+            progress=progress,
+        )
+    finally:
+        if trace_sink is not None:
+            obs.set_sink(previous_sink)
+            trace_sink.close()
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     summaries = [_job_summary(job_result) for job_result in job_results]
 
     if args.format == "json":
@@ -295,6 +319,84 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if failed:
         sys.stderr.write(f"{failed} of {len(summaries)} jobs failed\n")
     return 1 if failed else 0
+
+
+def _write_metrics(path: str) -> None:
+    """Dump the default metrics registry: Prometheus text, or JSON for
+    ``*.json`` paths."""
+    if path.endswith(".json"):
+        text = json.dumps(obs.REGISTRY.snapshot(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs.REGISTRY.render_prometheus()
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def _profile_timings_from_file(path: str) -> List[Dict[str, float]]:
+    """Per-job stage timings from saved JSON.
+
+    Accepts the list ``phoenix batch --format json`` writes (entries with
+    ``stage_timings``) or a single ``phoenix compile --format json``
+    result dict.
+    """
+    from repro.obs.profile import stage_timings_from_summaries
+
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ValueError(
+            f"{path!r} is neither a batch-summary list nor a result dict"
+        )
+    timings = stage_timings_from_summaries(data)
+    if not timings:
+        raise ValueError(f"no stage_timings found in {path!r}")
+    return timings
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Aggregate per-stage wall-clock across a suite; name the hot stage."""
+    from repro.obs.profile import aggregate_stage_timings, format_stage_table
+
+    if args.input:
+        timings = _profile_timings_from_file(args.input)
+        source = args.input
+    else:
+        from repro.bench import PINNED_SUITE, bench_jobs
+
+        if args.workload:
+            from repro.workloads.registry import workload_from_spec
+
+            jobs = [
+                CompilationJob(spec, workload_from_spec(spec).to_terms())
+                for spec in args.workload
+            ]
+            source = f"{len(jobs)} workload(s)"
+        else:
+            suite = PINNED_SUITE[: args.limit] if args.limit else PINNED_SUITE
+            jobs = bench_jobs(suite)
+            source = f"bench suite ({len(jobs)} of {len(PINNED_SUITE)} jobs)"
+        service = CompilationService(cache=open_cache(args.cache_dir))
+        progress = None if args.quiet else _stderr_progress
+        job_results = service.compile_many(
+            jobs, workers=1, executor="serial", progress=progress
+        )
+        failed = [r.name for r in job_results if not r.ok]
+        if failed:
+            sys.stderr.write(f"profile jobs failed: {failed}\n")
+            return 1
+        timings = [
+            dict(r.result.stage_timings) for r in job_results if r.result is not None
+        ]
+
+    aggregates = aggregate_stage_timings(timings)
+    if args.format == "json":
+        _emit(json.dumps(aggregates, indent=2, sort_keys=True) + "\n", args.output)
+    else:
+        table = format_stage_table(
+            aggregates, title=f"per-stage profile over {source}"
+        )
+        _emit(table + "\n", args.output)
+    return 0
 
 
 def _cmd_workload_list(args: argparse.Namespace) -> int:
@@ -417,10 +519,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="PHOENIX compilation service: compile, batch-compile, "
                     "and manage the content-addressed result cache.",
     )
+    # Shared observability flags, attached to every subcommand so they can
+    # be given after the subcommand name (the natural CLI position).
+    logging_parent = argparse.ArgumentParser(add_help=False)
+    logging_parent.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable structured logging at this level (default: off)",
+    )
+    logging_parent.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (implies --log-level info)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = subparsers.add_parser(
-        "compile", help="compile one program and emit QASM/JSON/metrics"
+        "compile", help="compile one program and emit QASM/JSON/metrics",
+        parents=[logging_parent],
     )
     compile_parser.add_argument(
         "--benchmark", default=None,
@@ -438,7 +553,8 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.set_defaults(func=_cmd_compile)
 
     batch_parser = subparsers.add_parser(
-        "batch", help="compile many programs with parallel workers"
+        "batch", help="compile many programs with parallel workers",
+        parents=[logging_parent],
     )
     batch_parser.add_argument(
         "benchmarks", nargs="*", help="built-in benchmark names to compile"
@@ -467,11 +583,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: table)",
     )
     batch_parser.add_argument("--output", default=None, help="output file (default: stdout)")
+    batch_parser.add_argument(
+        "--trace-out", default=None,
+        help="write a JSONL span trace of the batch to this file (per-job "
+             "spans nest per-stage spans; cache/retry outcomes as attributes)",
+    )
+    batch_parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the metrics registry after the batch (Prometheus text, "
+             "or a JSON snapshot when the path ends in .json)",
+    )
     batch_parser.set_defaults(func=_cmd_batch)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="aggregate per-stage compile time over a suite and name the "
+             "hottest stage",
+        parents=[logging_parent],
+    )
+    profile_parser.add_argument(
+        "--input", default=None,
+        help="load per-job stage timings from a saved 'phoenix batch "
+             "--format json' file instead of compiling",
+    )
+    profile_parser.add_argument(
+        "--workload", action="append", default=None, metavar="SPEC",
+        help="profile these workload specs instead of the pinned bench "
+             "suite (repeatable)",
+    )
+    profile_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="profile only the first N jobs of the pinned bench suite",
+    )
+    profile_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache to reuse (note: cached jobs contribute no fresh "
+             "stage timings; default: memory only)",
+    )
+    profile_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-job k/N progress lines on stderr",
+    )
+    profile_parser.add_argument(
+        "--format", default="table", choices=["table", "json"],
+        help="output format (default: table)",
+    )
+    profile_parser.add_argument(
+        "--output", default=None, help="output file (default: stdout)"
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
 
     workload_parser = subparsers.add_parser(
         "workload",
         help="list, build, or compile generated workloads from the registry",
+        parents=[logging_parent],
     )
     workload_sub = workload_parser.add_subparsers(dest="workload_command", required=True)
 
@@ -505,7 +670,8 @@ def build_parser() -> argparse.ArgumentParser:
     wl_compile.set_defaults(func=_cmd_workload_compile)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect, prune, or clear an on-disk result cache"
+        "cache", help="inspect, prune, or clear an on-disk result cache",
+        parents=[logging_parent],
     )
     cache_parser.add_argument(
         "action", choices=["info", "stats", "ls", "clear", "prune"]
@@ -528,6 +694,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    log_level = getattr(args, "log_level", None)
+    log_json = getattr(args, "log_json", False)
+    if log_level or log_json:
+        obs.configure(level=(log_level or "info").upper(), json_lines=log_json)
     try:
         return args.func(args)
     except (ValueError, OSError) as exc:

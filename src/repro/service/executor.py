@@ -30,6 +30,7 @@ prepares them.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
@@ -37,6 +38,11 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+logger = logging.getLogger(__name__)
 
 RawResult = Dict[str, Any]
 Runner = Callable[[Dict[str, Any]], RawResult]
@@ -60,8 +66,7 @@ def default_worker_count(num_jobs: int) -> int:
     return max(1, min(num_jobs, os.cpu_count() or 1))
 
 
-def execute_payload(payload: Dict[str, Any]) -> RawResult:
-    """Compile one serialized job; runs inline or inside a worker process."""
+def _compile_payload(payload: Dict[str, Any]) -> RawResult:
     from repro.serialize.results import result_to_dict, terms_from_dict
     from repro.service.registry import CompilerOptions
 
@@ -83,6 +88,32 @@ def execute_payload(payload: Dict[str, Any]) -> RawResult:
             "error": traceback.format_exc(),
             "elapsed": time.perf_counter() - started,
         }
+
+
+def execute_payload(payload: Dict[str, Any]) -> RawResult:
+    """Compile one serialized job; runs inline or inside a worker process.
+
+    When the payload carries a ``"trace"`` propagation context, this
+    compile attempt (and the per-stage spans the pipeline runner emits
+    under it) is captured into an in-memory sink and shipped back in the
+    result under ``"spans"`` — the dispatching process re-emits them, so
+    one process writes the whole batch trace no matter where jobs ran.
+    """
+    trace_context = payload.get("trace")
+    if trace_context is None:
+        return _compile_payload(payload)
+    recorder = obs_trace.RecordingSink()
+    with obs_trace.sink_override(recorder):
+        with obs_trace.span(
+            "compile",
+            parent=trace_context,
+            name=payload.get("name"),
+            pid=os.getpid(),
+        ) as attempt_span:
+            raw = _compile_payload(payload)
+            attempt_span.set("status", raw["status"])
+    raw["spans"] = recorder.events
+    return raw
 
 
 def warm_worker_process() -> None:
@@ -168,8 +199,21 @@ class SerialExecutor:
             while True:
                 attempts += 1
                 raw = run_payload_with_timeout(payload, self.timeout, runner)
+                if raw.get("timeout"):
+                    obs_metrics.counter(
+                        "repro_executor_timeouts_total", executor=self.name
+                    ).inc()
                 if not (raw.get("timeout") and attempts <= self.retries):
                     break
+                obs_metrics.counter(
+                    "repro_executor_retries_total", executor=self.name
+                ).inc()
+                logger.info(
+                    "retrying timed-out job %s (attempt %d/%d)",
+                    payload.get("name", payload.get("index")),
+                    attempts + 1,
+                    self.retries + 1,
+                )
             raw["attempts"] = attempts
             results.append(raw)
             if progress is not None:
@@ -246,6 +290,11 @@ class ProcessExecutor:
             return self._serial().run(payloads, progress=progress, runner=runner)
         pool = self._open_pool(workers)
         if pool is None:
+            obs_metrics.counter("repro_executor_broken_pools_total").inc()
+            logger.warning(
+                "cannot start a process pool here; running %d job(s) serially",
+                len(payloads),
+            )
             return self._serial().run(payloads, progress=progress, runner=runner)
 
         chunk_size = self.chunk_size or max(1, len(payloads) // (workers * 4))
@@ -273,33 +322,64 @@ class ProcessExecutor:
                 )
             except RuntimeError:  # pool already broken or shut down
                 pool_broken = True
+                obs_metrics.counter("repro_executor_broken_pools_total").inc()
+                logger.warning(
+                    "process pool broke; remaining jobs fall back to inline "
+                    "execution"
+                )
                 return False
             pending[future] = positions
             return True
 
         def resolve_inline(position: int) -> None:
             """Final bounded retries once the pool cannot take the job."""
+            obs_metrics.counter("repro_executor_inline_fallbacks_total").inc()
             while attempts[position] <= self.retries:
                 attempts[position] += 1
                 raw = run_payload_with_timeout(payloads[position], self.timeout, runner)
+                if raw.get("timeout"):
+                    obs_metrics.counter(
+                        "repro_executor_timeouts_total", executor=self.name
+                    ).inc()
                 if not (raw.get("timeout") and attempts[position] <= self.retries):
                     finish(position, raw)
                     return
 
         def handle_raw(position: int, raw: RawResult) -> None:
             attempts[position] += 1
+            if raw.get("timeout"):
+                obs_metrics.counter(
+                    "repro_executor_timeouts_total", executor=self.name
+                ).inc()
             if raw.get("timeout") and attempts[position] <= self.retries:
+                obs_metrics.counter(
+                    "repro_executor_retries_total", executor=self.name
+                ).inc()
+                logger.info(
+                    "re-dispatching timed-out job %s (attempt %d/%d)",
+                    payloads[position].get("name", position),
+                    attempts[position] + 1,
+                    self.retries + 1,
+                )
                 if not submit([position]):
                     resolve_inline(position)
             else:
                 finish(position, raw)
 
         def handle_chunk_failure(positions: List[int], error: str) -> None:
+            logger.warning(
+                "worker chunk of %d job(s) failed; retrying survivors inline: %s",
+                len(positions),
+                error.strip().splitlines()[-1] if error.strip() else error,
+            )
             for position in positions:
                 if results[position] is not None:
                     continue
                 attempts[position] += 1
                 if attempts[position] <= self.retries:
+                    obs_metrics.counter(
+                        "repro_executor_retries_total", executor=self.name
+                    ).inc()
                     resolve_inline(position)
                 if results[position] is None:
                     finish(
@@ -331,6 +411,11 @@ class ProcessExecutor:
                 if not done:
                     # Hard-wedged workers: record errors and abandon the pool.
                     wedged = True
+                    logger.error(
+                        "%d in-flight chunk(s) exceeded the safety timeout; "
+                        "abandoning the pool",
+                        len(pending),
+                    )
                     for future, positions in pending.items():
                         future.cancel()
                         for position in positions:

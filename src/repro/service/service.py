@@ -22,11 +22,15 @@ parallel batch facility:
 
 from __future__ import annotations
 
+import logging
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.compiler import CompilationResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.paulis.pauli import PauliTerm
 from repro.pipeline.options import as_terms
 from repro.serialize.results import result_from_dict, terms_to_dict
@@ -39,6 +43,12 @@ from repro.service.executor import (
     resolve_executor,
 )
 from repro.service.registry import CompilerOptions
+
+logger = logging.getLogger(__name__)
+
+
+def _count_job(outcome: str) -> None:
+    obs_metrics.counter("repro_jobs_total", outcome=outcome).inc()
 
 
 @dataclass(frozen=True)
@@ -167,23 +177,41 @@ class CompilationService:
         unlimited; ``progress`` is called once per job as it completes,
         cache hits included.
         """
+        with obs_trace.span("compile_many", jobs=len(jobs)) as batch_span:
+            return self._compile_many(
+                jobs, workers, executor, timeout, progress, batch_span
+            )
+
+    def _compile_many(
+        self,
+        jobs: Sequence[CompilationJob],
+        workers: Optional[int],
+        executor: Union[str, Executor, None],
+        timeout: Optional[float],
+        progress: Optional[ProgressCallback],
+        batch_span: obs_trace.SpanLike,
+    ) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[Dict[str, Any]] = []
+        job_spans: List[obs_trace.SpanLike] = []  # aligned with ``pending``
         keys: List[str] = []
         dispatched: Dict[str, int] = {}
         duplicates: List[int] = []
         total = len(jobs)
         completed = 0
+        batch_started = time.perf_counter()
 
         def emit(job_result: JobResult, outcome: str) -> None:
             nonlocal completed
             completed += 1
+            outcome = "error" if not job_result.ok else outcome
+            _count_job(outcome)
             if progress is not None:
                 progress(
                     ProgressEvent(
                         name=job_result.name,
                         status=job_result.status,
-                        outcome="error" if not job_result.ok else outcome,
+                        outcome=outcome,
                         completed=completed,
                         total=total,
                         elapsed=job_result.elapsed,
@@ -192,8 +220,20 @@ class CompilationService:
                     )
                 )
 
+        def short_span(job_result: JobResult, outcome: str) -> None:
+            """One already-finished span for a job resolved without workers."""
+            finished = obs_trace.start_span(
+                "job",
+                name=job_result.name,
+                outcome="error" if not job_result.ok else outcome,
+                cached=job_result.cached,
+                key=job_result.key,
+            )
+            finished.end(status=job_result.status)
+
         for index, job in enumerate(jobs):
             keys.append("")
+            lookup_started = time.perf_counter()
             try:
                 key = self.job_key(job)
                 cached = self.cache.get(key)
@@ -201,34 +241,49 @@ class CompilationService:
                 # A job that cannot even be fingerprinted (e.g. an empty
                 # program) fails alone, like any other per-job error.
                 results[index] = JobResult(
-                    name=job.name, status="error", error=traceback.format_exc()
+                    name=job.name, status="error", error=traceback.format_exc(),
+                    elapsed=time.perf_counter() - lookup_started,
                 )
+                logger.warning("job %r failed before dispatch (bad program?)", job.name)
+                short_span(results[index], "error")
                 emit(results[index], "error")
                 continue
             keys[index] = key
             if cached is not None:
+                result = result_from_dict(cached)
+                obs_metrics.counter("repro_cache_hits_total", layer="service").inc()
+                # A warm job's honest wall clock is its lookup + decode time.
                 results[index] = JobResult(
                     name=job.name,
                     status="ok",
-                    result=result_from_dict(cached),
+                    result=result,
                     cached=True,
+                    elapsed=time.perf_counter() - lookup_started,
                     key=key,
                 )
+                short_span(results[index], "hit")
                 emit(results[index], "hit")
             elif key in dispatched:
                 # Identical content already in this batch: compile once and
                 # fan the result out afterwards.
                 duplicates.append(index)
             else:
+                obs_metrics.counter("repro_cache_misses_total", layer="service").inc()
                 dispatched[key] = len(pending)
-                pending.append(
-                    {
-                        "index": index,
-                        "name": job.name,
-                        "program": terms_to_dict(job.terms()),
-                        "options": job.options.as_dict(),
-                    }
+                job_span = obs_trace.start_span(
+                    "job", name=job.name, compiler=job.options.compiler, key=key
                 )
+                payload = {
+                    "index": index,
+                    "name": job.name,
+                    "program": terms_to_dict(job.terms()),
+                    "options": job.options.as_dict(),
+                }
+                trace_context = job_span.context()
+                if trace_context is not None:
+                    payload["trace"] = trace_context
+                pending.append(payload)
+                job_spans.append(job_span)
 
         if pending:
             worker_count = workers if workers is not None else self.max_workers
@@ -271,7 +326,30 @@ class CompilationService:
                         key=keys[index],
                         attempts=raw.get("attempts", 1),
                     )
-                emit(results[index], "miss")
+                    logger.warning(
+                        "job %r failed after %d attempt(s)%s",
+                        job.name,
+                        results[index].attempts,
+                        " (timeout)" if raw.get("timeout") else "",
+                    )
+                job_result = results[index]
+                obs_metrics.histogram("repro_job_seconds").observe(job_result.elapsed)
+                # Worker-side spans (the compile attempt and its nested
+                # stage spans) come back with the raw result; re-emitting
+                # them here keeps the whole batch trace in one file.
+                worker_events = raw.get("spans")
+                if worker_events:
+                    obs_trace.emit_events(worker_events)
+                job_span = job_spans[position]
+                if job_span:
+                    job_span.update(
+                        outcome="error" if not job_result.ok else "miss",
+                        attempts=job_result.attempts,
+                        timeout=bool(raw.get("timeout")),
+                        elapsed=job_result.elapsed,
+                    )
+                    job_span.end(status=job_result.status)
+                emit(job_result, "miss")
 
             raw_results = backend.run(pending, progress=collect, runner=execute_payload)
             # Backends call ``collect`` as jobs finish; the ordered return
@@ -280,6 +358,7 @@ class CompilationService:
                 collect(position, raw)
 
             for index in duplicates:
+                fanout_started = time.perf_counter()
                 raw = raw_results[dispatched[keys[index]]]
                 if raw["status"] == "ok":
                     results[index] = JobResult(
@@ -291,6 +370,8 @@ class CompilationService:
                         key=keys[index],
                         attempts=raw.get("attempts", 1),
                     )
+                    # The dedup job's own wall clock is the result fan-out.
+                    results[index].elapsed = time.perf_counter() - fanout_started
                 else:
                     results[index] = JobResult(
                         name=jobs[index].name,
@@ -301,9 +382,23 @@ class CompilationService:
                         key=keys[index],
                         attempts=raw.get("attempts", 1),
                     )
+                short_span(results[index], "dedup")
                 emit(results[index], "dedup")
 
-        return [result for result in results if result is not None]
+        ordered = [result for result in results if result is not None]
+        failed = sum(1 for result in ordered if not result.ok)
+        logger.info(
+            "batch done: %d jobs (%d hits, %d dedup, %d compiled, %d errors) "
+            "in %.2fs",
+            len(ordered),
+            sum(1 for result in ordered if result.cached),
+            sum(1 for result in ordered if result.deduplicated),
+            len(pending),
+            failed,
+            time.perf_counter() - batch_started,
+        )
+        batch_span.update(completed=len(ordered), errors=failed)
+        return ordered
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, Any]:

@@ -26,6 +26,7 @@ wrote them.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import time
@@ -33,8 +34,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.serialize.jsonutil import canonical_json
 from repro.service.cache import DiskCacheStore
+
+logger = logging.getLogger(__name__)
 
 #: Name of the layout marker file kept in the cache root.
 LAYOUT_FILE = "shard-layout.json"
@@ -281,13 +285,33 @@ class ShardedDiskCacheStore(DiskCacheStore):
                     survivors.append((path, mtime, size))
             kept = survivors
         self._sweep_empty_shards()
-        return PruneReport(
+        report = PruneReport(
             removed_entries=removed_entries,
             removed_bytes=removed_bytes,
             kept_entries=len(kept),
             kept_bytes=sum(size for _, _, size in kept),
             removed_tmp_files=removed_tmp,
         )
+        if report.removed_entries:
+            obs_metrics.counter("repro_cache_evictions_total").inc(
+                report.removed_entries
+            )
+            obs_metrics.counter("repro_cache_evicted_bytes_total").inc(
+                report.removed_bytes
+            )
+        # Eviction is never silent: ops can see what a prune did and why
+        # hit rates moved afterwards.
+        logger.info(
+            "pruned cache %s: removed %d entries (%d bytes), kept %d "
+            "(%d bytes), swept %d stale tmp file(s)",
+            self.root,
+            report.removed_entries,
+            report.removed_bytes,
+            report.kept_entries,
+            report.kept_bytes,
+            report.removed_tmp_files,
+        )
+        return report
 
     @staticmethod
     def _remove(path: Path) -> bool:

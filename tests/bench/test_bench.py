@@ -7,6 +7,7 @@ seconds.  The real pinned suite is exercised nightly by CI.
 """
 
 import json
+import os
 
 import pytest
 
@@ -114,6 +115,9 @@ class TestResultContentBytes:
 
 class TestMain:
     def test_writes_report_and_passes_floor_zero(self, tmp_path, monkeypatch):
+        # Pretend the machine is big enough for --workers 2 so the floor
+        # gate actually evaluates instead of skipping on small CI runners.
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setattr(bench, "PINNED_SUITE", TINY_SUITE)
         output = tmp_path / "BENCH_service.json"
         code = bench.main(
@@ -123,11 +127,43 @@ class TestMain:
         report = json.loads(output.read_text(encoding="utf-8"))
         assert report["format"] == BENCH_FORMAT
         assert report["equivalence"]["byte_identical"] is True
+        assert report["generated_at"]
+        assert report["process"]["effective_workers"] == 2
 
     def test_unreachable_floor_fails_with_exit_2(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setattr(bench, "PINNED_SUITE", TINY_SUITE)
         code = bench.main(
             ["--output", str(tmp_path / "r.json"), "--workers", "2",
              "--floor", "1000.0"]
         )
         assert code == 2
+
+    def test_floor_skipped_on_undersized_machine(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # One core, two workers requested: the speedup only measures the
+        # machine, so even an absurd floor must not fail the run — but the
+        # skip has to be loud and the report honest about the parallelism.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(bench, "PINNED_SUITE", TINY_SUITE)
+        output = tmp_path / "BENCH_service.json"
+        code = bench.main(
+            ["--output", str(output), "--workers", "2", "--floor", "1000.0"]
+        )
+        assert code == 0
+        assert "SKIPPING --floor" in capsys.readouterr().err
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["environment"]["cpu_count"] == 1
+        assert report["process"]["workers"] == 2
+        assert report["process"]["effective_workers"] == 1
+
+    def test_stages_flag_prints_profile_table(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "PINNED_SUITE", TINY_SUITE)
+        code = bench.main(
+            ["--output", str(tmp_path / "r.json"), "--workers", "1", "--stages"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "hottest stage:" in err
+        assert "simplify" in err

@@ -1,0 +1,20 @@
+"""Shared isolation for the observability tests.
+
+Tracing and metrics are process-global by design (that is what makes the
+instrumentation zero-configuration at call sites), so every test here
+starts from a clean slate: no sink installed, an empty metrics registry,
+and both restored afterwards no matter how the test exits.
+"""
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    previous = trace.set_sink(None)
+    metrics.REGISTRY.reset()
+    yield
+    trace.set_sink(previous)
+    metrics.REGISTRY.reset()

@@ -1,0 +1,159 @@
+"""Metrics registry, quantiles, Prometheus rendering, and log setup."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure
+from repro.obs.metrics import (
+    MAX_SAMPLES,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    quantile,
+)
+
+
+class TestQuantile:
+    def test_empty_and_singleton(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([3.0], 0.95) == 3.0
+
+    def test_interpolates_between_samples(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert quantile(values, 0.5) == pytest.approx(1.5)
+        assert quantile(values, 0.0) == 0.0
+        assert quantile(values, 1.0) == 3.0
+
+
+class TestCounterAndGauge:
+    def test_counter_only_goes_up(self):
+        series = Counter()
+        series.inc()
+        series.inc(2.5)
+        assert series.as_value() == 3.5
+        with pytest.raises(ValueError):
+            series.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("repro_queue_depth")
+        depth.set(5)
+        depth.dec(2)
+        assert depth.as_value() == 3.0
+
+
+class TestHistogram:
+    def test_counts_sum_and_percentiles(self):
+        series = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            series.observe(value)
+        view = series.as_value()
+        assert view["count"] == 4
+        assert view["sum"] == pytest.approx(6.05)
+        assert view["buckets"] == {"0.1": 1, "1": 3, "10": 4}
+        assert view["p50"] == pytest.approx(0.5)
+        assert view["max"] == 5.0
+
+    def test_reservoir_is_bounded(self):
+        series = Histogram(buckets=(1.0,))
+        for index in range(MAX_SAMPLES + 100):
+            series.observe(float(index))
+        assert series.count == MAX_SAMPLES + 100
+        assert len(series._samples) == MAX_SAMPLES
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_a_series(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", layer="disk").inc()
+        registry.counter("repro_hits_total", layer="disk").inc()
+        registry.counter("repro_hits_total", layer="memory").inc()
+        snap = registry.snapshot()
+        assert snap["repro_hits_total"] == {
+            "layer=disk": 2.0,
+            "layer=memory": 1.0,
+        }
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_widget")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_widget")
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", outcome="ok").inc(3)
+        registry.histogram("repro_job_seconds").observe(0.25)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", outcome="ok").inc(3)
+        registry.gauge("repro_queue_depth").set(2)
+        registry.histogram(
+            "repro_job_seconds", buckets=(0.1, 1.0)
+        ).observe(0.25)
+        text = registry.render_prometheus()
+        assert '# TYPE repro_jobs_total counter' in text
+        assert 'repro_jobs_total{outcome="ok"} 3' in text
+        assert 'repro_queue_depth 2' in text
+        assert 'repro_job_seconds_bucket{le="1"} 1' in text
+        assert 'repro_job_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_job_seconds_count 1' in text
+
+    def test_module_helpers_hit_the_default_registry(self):
+        from repro.obs.metrics import REGISTRY
+
+        counter("repro_test_total", widget="a").inc()
+        assert REGISTRY.snapshot()["repro_test_total"] == {"widget=a": 1.0}
+
+
+class TestConfigureLogging:
+    @pytest.fixture(autouse=True)
+    def restore_repro_logger(self):
+        root = logging.getLogger("repro")
+        before = (list(root.handlers), root.level, root.propagate)
+        yield
+        root.handlers[:], root.level, root.propagate = (
+            before[0], before[1], before[2]
+        )
+
+    def test_plain_handler_formats_level_and_logger(self, capsys):
+        import io
+
+        stream = io.StringIO()
+        configure(level="DEBUG", stream=stream)
+        logging.getLogger("repro.test_metrics").debug("hello %s", "world")
+        assert "hello world" in stream.getvalue()
+        assert "repro.test_metrics" in stream.getvalue()
+
+    def test_json_lines_carry_extra_fields(self):
+        import io
+
+        stream = io.StringIO()
+        configure(level="INFO", json_lines=True, stream=stream)
+        logging.getLogger("repro.test_metrics").info(
+            "batch done", extra={"jobs": 4}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "batch done"
+        assert record["level"] == "INFO"
+        assert record["jobs"] == 4
+
+    def test_reconfigure_replaces_the_previous_handler(self):
+        import io
+
+        first, second = io.StringIO(), io.StringIO()
+        configure(level="INFO", stream=first)
+        configure(level="INFO", stream=second)
+        logging.getLogger("repro.test_metrics").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1

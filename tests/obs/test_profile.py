@@ -1,0 +1,118 @@
+"""Per-stage profile aggregation and the ``phoenix profile`` command."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    aggregate_stage_timings,
+    format_stage_table,
+    stage_timings_from_summaries,
+    top_stage,
+)
+from repro.service.cli import main as cli_main
+
+#: Two synthetic jobs with fixed stage timings — every derived number in
+#: the golden table below is computable by hand from these.
+TWO_JOB_TIMINGS = [
+    {"simplify": 0.3, "emit": 0.1},
+    {"simplify": 0.5, "emit": 0.1},
+]
+
+GOLDEN_TABLE = "\n".join(
+    [
+        "stage     count   total     mean      p50      p95  share",
+        "--------  -----  ------  -------  -------  -------  -----",
+        "simplify      2  0.800s  0.4000s  0.4000s  0.4900s  80.0%",
+        "emit          2  0.200s  0.1000s  0.1000s  0.1000s  20.0%",
+        "hottest stage: simplify (80.0% of stage time)",
+    ]
+)
+
+
+class TestAggregate:
+    def test_two_job_aggregate_by_hand(self):
+        aggregates = aggregate_stage_timings(TWO_JOB_TIMINGS)
+        simplify = aggregates["simplify"]
+        assert simplify["count"] == 2
+        assert simplify["total_seconds"] == pytest.approx(0.8)
+        assert simplify["mean_seconds"] == pytest.approx(0.4)
+        assert simplify["p50_seconds"] == pytest.approx(0.4)
+        assert simplify["p95_seconds"] == pytest.approx(0.49)
+        assert simplify["max_seconds"] == 0.5
+        assert simplify["share"] == pytest.approx(0.8)
+        assert aggregates["emit"]["share"] == pytest.approx(0.2)
+
+    def test_stage_missing_from_one_job_still_counts(self):
+        aggregates = aggregate_stage_timings(
+            [{"route": 0.2}, {"simplify": 0.8}]
+        )
+        assert aggregates["route"]["count"] == 1
+        assert top_stage(aggregates) == "simplify"
+
+    def test_empty_input(self):
+        assert aggregate_stage_timings([]) == {}
+        assert top_stage({}) is None
+        assert "no stage timings recorded" in format_stage_table({})
+
+
+class TestGoldenTable:
+    def test_two_job_table_renders_exactly(self):
+        aggregates = aggregate_stage_timings(TWO_JOB_TIMINGS)
+        assert format_stage_table(aggregates) == GOLDEN_TABLE
+
+    def test_title_prepended(self):
+        aggregates = aggregate_stage_timings(TWO_JOB_TIMINGS)
+        table = format_stage_table(aggregates, title="my suite")
+        assert table.splitlines()[0] == "my suite"
+
+
+class TestStageTimingsFromSummaries:
+    def test_extracts_and_skips_failed_jobs(self):
+        summaries = [
+            {"name": "a", "stage_timings": {"emit": 0.5}},
+            {"name": "failed", "error": "boom"},
+            {"name": "b", "stage_timings": {"emit": 0.25}},
+        ]
+        assert stage_timings_from_summaries(summaries) == [
+            {"emit": 0.5},
+            {"emit": 0.25},
+        ]
+
+
+class TestProfileCommand:
+    def test_input_mode_renders_golden_table(self, tmp_path, capsys):
+        batch = [
+            {"name": "job-1", "stage_timings": TWO_JOB_TIMINGS[0]},
+            {"name": "job-2", "stage_timings": TWO_JOB_TIMINGS[1]},
+        ]
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(batch), encoding="utf-8")
+        assert cli_main(["profile", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out == f"per-stage profile over {path}\n{GOLDEN_TABLE}\n"
+
+    def test_input_mode_json_format(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        path.write_text(
+            json.dumps([{"stage_timings": {"emit": 0.1}}]), encoding="utf-8"
+        )
+        assert cli_main(["profile", "--input", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["emit"]["count"] == 1
+
+    def test_input_without_timings_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("[]", encoding="utf-8")
+        assert cli_main(["profile", "--input", str(path)]) == 2
+        assert "no stage_timings" in capsys.readouterr().err
+
+    def test_run_mode_compiles_and_names_hot_stage(self, capsys):
+        code = cli_main(
+            ["profile", "--workload", "tfim:n=5,lattice=chain", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-stage profile over 1 workload(s)" in out
+        assert "hottest stage:" in out
+        assert "simplify" in out

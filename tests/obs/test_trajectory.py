@@ -1,0 +1,129 @@
+"""The bench-trajectory renderer over synthetic report histories."""
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import (
+    load_reports,
+    main,
+    render_json,
+    render_markdown,
+    stage_history,
+    trajectory_rows,
+)
+
+
+def synthetic_report(generated_at, serial_jps, speedup=2.0, p50_order=0.02):
+    return {
+        "format": "phoenix-bench-service-1",
+        "suite_version": 1,
+        "generated_at": generated_at,
+        "serial": {"jobs_per_second": serial_jps, "jobs": 16, "errors": {}},
+        "process": {
+            "jobs_per_second": serial_jps * speedup,
+            "workers": 4,
+            "effective_workers": 4,
+        },
+        "warm": {"jobs_per_second": serial_jps * 10, "hit_rate": 1.0},
+        "speedup": speedup,
+        "equivalence": {"byte_identical": True, "mismatches": []},
+        "stage_timings": {
+            "order": {"p50_seconds": p50_order, "mean_seconds": p50_order},
+            "emit": {"p50_seconds": 0.001, "mean_seconds": 0.001},
+        },
+        "environment": {"cpu_count": 4, "python": "3.12.0"},
+    }
+
+
+@pytest.fixture
+def history_dir(tmp_path):
+    # Written out of order on purpose: ordering must come from
+    # generated_at, not from filename or write sequence.
+    reports = [
+        ("b.json", synthetic_report("2026-08-04T00:00:00+00:00", 2.0)),
+        ("c.json", synthetic_report("2026-08-07T00:00:00+00:00", 3.0, p50_order=0.01)),
+        ("a.json", synthetic_report("2026-08-01T00:00:00+00:00", 1.0)),
+    ]
+    for name, report in reports:
+        (tmp_path / name).write_text(json.dumps(report), encoding="utf-8")
+    # Distractors that must be skipped, not crash the scan.
+    (tmp_path / "notes.json").write_text('{"format": "other"}', encoding="utf-8")
+    (tmp_path / "broken.json").write_text("{not json", encoding="utf-8")
+    return tmp_path
+
+
+class TestLoadReports:
+    def test_orders_by_generated_at_and_skips_foreign_files(self, history_dir):
+        reports = load_reports(history_dir)
+        assert [r["generated_at"][:10] for r in reports] == [
+            "2026-08-01", "2026-08-04", "2026-08-07",
+        ]
+
+    def test_mtime_fallback_for_legacy_reports(self, tmp_path):
+        import os
+
+        legacy = synthetic_report(None, 1.0)
+        del legacy["generated_at"]
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy), encoding="utf-8")
+        os.utime(path, (1000.0, 1000.0))
+        reports = load_reports(tmp_path)
+        assert len(reports) == 1
+        assert reports[0]["_order_key"] == 1000.0
+
+    def test_empty_directory(self, tmp_path):
+        assert load_reports(tmp_path) == []
+        assert "No bench reports found" in render_markdown([])
+
+
+class TestRows:
+    def test_rows_carry_the_trajectory_columns(self, history_dir):
+        rows = trajectory_rows(load_reports(history_dir))
+        assert [row["serial_jobs_per_second"] for row in rows] == [1.0, 2.0, 3.0]
+        first = rows[0]
+        assert first["speedup"] == 2.0
+        assert first["warm_hit_rate"] == 1.0
+        assert first["byte_identical"] is True
+        assert first["effective_workers"] == 4
+        assert first["cpu_count"] == 4
+
+    def test_stage_history_tracks_medians_per_report(self, history_dir):
+        history = stage_history(load_reports(history_dir))
+        assert history["order"] == [0.02, 0.02, 0.01]
+        assert history["emit"] == [0.001, 0.001, 0.001]
+
+
+class TestRendering:
+    def test_markdown_has_summary_and_stage_tables(self, history_dir):
+        text = render_markdown(load_reports(history_dir))
+        assert "# Bench trajectory" in text
+        assert "3 report(s), oldest first." in text
+        assert "| 2026-08-01 00:00:00 | 1.00 | 2.00 | 2.00x | 100% | yes | 4/4 | 4 |" in text
+        assert "## Per-stage median seconds" in text
+        assert "| order | 0.0200 | 0.0200 | 0.0100 |" in text
+
+    def test_json_rendering_round_trips(self, history_dir):
+        payload = json.loads(render_json(load_reports(history_dir)))
+        assert payload["reports"] == 3
+        assert len(payload["trajectory"]) == 3
+        assert payload["stage_history"]["order"] == [0.02, 0.02, 0.01]
+
+
+class TestMain:
+    def test_writes_output_file(self, history_dir, tmp_path, capsys):
+        out = tmp_path / "trajectory.md"
+        code = main([str(history_dir), "--format", "markdown", "-o", str(out)])
+        assert code == 0
+        assert "3 bench report(s)" in capsys.readouterr().err
+        assert "# Bench trajectory" in out.read_text(encoding="utf-8")
+
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        code = main([str(tmp_path / "nope")])
+        assert code == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_stdout_json(self, history_dir, capsys):
+        assert main([str(history_dir), "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["reports"] == 3
