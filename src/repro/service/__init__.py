@@ -7,11 +7,18 @@ serial/process execution backends (:mod:`repro.service.executor`), a
 parallel batch compiler (:class:`CompilationService`), plain-data compiler
 specs that survive process boundaries (:mod:`repro.service.registry`), and
 the ``phoenix`` command line (:mod:`repro.service.cli`).
+
+Resilience lives in three sibling modules: retry/breaker/shutdown
+policies (:mod:`repro.service.resilience`), the crash-safe batch journal
+(:mod:`repro.service.journal`), and the seeded fault-injection lab
+(:mod:`repro.service.faultlab`) with its ``phoenix chaos`` harness
+(:mod:`repro.service.chaos`).
 """
 
 from repro.service.cache import (
     CacheStats,
     DiskCacheStore,
+    DoctorReport,
     MemoryCacheStore,
     TieredCache,
     compilation_cache_key,
@@ -23,7 +30,14 @@ from repro.service.executor import (
     default_worker_count,
     resolve_executor,
 )
+from repro.service.journal import BatchJournal, load_journal
 from repro.service.registry import CompilerOptions, compiler_names, resolve_topology
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    RetrySession,
+    shutdown_guard,
+)
 from repro.service.service import (
     CompilationJob,
     CompilationService,
@@ -36,6 +50,7 @@ __all__ = [
     "CacheStats",
     "MemoryCacheStore",
     "DiskCacheStore",
+    "DoctorReport",
     "ShardedDiskCacheStore",
     "PruneReport",
     "TieredCache",
@@ -52,4 +67,10 @@ __all__ = [
     "ProcessExecutor",
     "resolve_executor",
     "default_worker_count",
+    "RetryPolicy",
+    "RetrySession",
+    "CircuitBreaker",
+    "shutdown_guard",
+    "BatchJournal",
+    "load_journal",
 ]

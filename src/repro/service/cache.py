@@ -13,11 +13,30 @@ stores share the minimal ``get / put / delete / keys / clear`` interface:
 * :class:`TieredCache` — memory in front of disk; disk hits are promoted.
 
 All stores count hits and misses (:attr:`CacheStats`).
+
+**The disk tier degrades, it does not raise.**  A cache is an accelerator:
+no I/O failure on the read or write path may take a compilation down.
+Concretely,
+
+* a corrupt entry (bad JSON, truncated file, wrong encoding) becomes a
+  logged **miss** and the file is **quarantined** into a ``corrupt/``
+  sidecar directory (``repro_cache_quarantined_total``), where
+  ``phoenix cache doctor`` can inspect, restore, or purge it;
+* an I/O error (``ENOSPC``, ``EACCES``, a yanked network mount...)
+  becomes a logged miss / dropped write (``repro_cache_io_errors_total``);
+* every disk outcome optionally feeds a
+  :class:`~repro.service.resilience.CircuitBreaker`; while the breaker is
+  open, :class:`TieredCache` stops touching the disk tier entirely and
+  serves memory-only until the half-open probe succeeds.
+
+Only :class:`ValueError` from key validation still raises — an invalid
+key is a caller bug, not an infrastructure failure.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -25,7 +44,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.paulis.fingerprint import ProgramLike, program_fingerprint
+from repro.service import faultlab
+from repro.service.resilience import CircuitBreaker
+
+logger = logging.getLogger(__name__)
+
+#: Sidecar directory (under the cache root) holding quarantined entries.
+QUARANTINE_DIRNAME = "corrupt"
 
 
 def compilation_cache_key(
@@ -55,6 +82,10 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    #: Corrupt entries moved to the quarantine sidecar.
+    quarantined: int = 0
+    #: I/O failures absorbed (reads that errored, writes that were dropped).
+    io_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -70,6 +101,8 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "hit_rate": self.hit_rate,
+            "quarantined": self.quarantined,
+            "io_errors": self.io_errors,
         }
 
 
@@ -127,6 +160,30 @@ class MemoryCacheStore:
             return key in self._entries
 
 
+@dataclass(frozen=True)
+class DoctorReport:
+    """What one :meth:`DiskCacheStore.doctor` scan found and did."""
+
+    scanned: int = 0
+    healthy: int = 0
+    corrupt: int = 0
+    quarantined: int = 0
+    restored: int = 0
+    purged: int = 0
+    quarantine_backlog: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "scanned": self.scanned,
+            "healthy": self.healthy,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "restored": self.restored,
+            "purged": self.purged,
+            "quarantine_backlog": self.quarantine_backlog,
+        }
+
+
 class DiskCacheStore:
     """One JSON file per entry under ``root/<key[:2]>/<key>.json``."""
 
@@ -134,25 +191,84 @@ class DiskCacheStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: Optional :class:`CircuitBreaker` fed by every disk outcome;
+        #: :class:`TieredCache` consults it to degrade to memory-only.
+        self.breaker: Optional[CircuitBreaker] = None
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
 
     def _path(self, key: str) -> Path:
         if not key or any(ch in key for ch in "/\\"):
             raise ValueError(f"invalid cache key {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
+    def _is_live(self, path: Path) -> bool:
+        """Entry files only — never the quarantine sidecar's contents."""
+        return self.quarantine_dir not in path.parents
+
+    # -- degradation helpers --------------------------------------------
+    def _disk_outcome(self, ok: bool) -> None:
+        if self.breaker is not None:
+            if ok:
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry into the sidecar; the get stays a miss."""
+        if not path.exists():
+            # Nothing on disk to isolate (e.g. the decode failed before the
+            # entry was ever written): it is just a miss.
+            return
+        self.stats.quarantined += 1
+        obs_metrics.counter("repro_cache_quarantined_total").inc()
+        moved = False
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+            moved = True
+        except OSError:
+            pass  # racing reader already moved it, or the dir is read-only
+        logger.warning(
+            "quarantined corrupt cache entry %s (%s)%s",
+            key,
+            reason.strip().splitlines()[-1] if reason.strip() else reason,
+            "" if moved else " [move failed; entry left in place]",
+        )
+
+    def _io_error(self, op: str, key: str, exc: BaseException) -> None:
+        self.stats.io_errors += 1
+        obs_metrics.counter("repro_cache_io_errors_total", op=op).inc()
+        logger.warning("cache %s failed for %s: %s", op, key, exc)
+
+    # -- store surface ---------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)
         try:
+            faultlab.fire("cache.get", key=key)
             with path.open("r", encoding="utf-8") as handle:
                 value = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self._disk_outcome(ok=True)  # the disk worked; the entry is absent
             self.stats.misses += 1
             return None
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            self._quarantine(key, path, str(exc))
+            self._disk_outcome(ok=False)
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self._io_error("get", key, exc)
+            self._disk_outcome(ok=False)
+            self.stats.misses += 1
+            return None
+        self._disk_outcome(ok=True)
         self.stats.hits += 1
         return value
 
-    def put(self, key: str, value: Dict[str, Any]) -> None:
-        path = self._path(key)
+    def _write(self, path: Path, value: Dict[str, Any]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -165,6 +281,18 @@ class DiskCacheStore:
             except FileNotFoundError:
                 pass
             raise
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        path = self._path(key)  # invalid keys still raise: caller bug
+        try:
+            faultlab.fire("cache.put", key=key)
+            self._write(path, value)
+        except (OSError, faultlab.InjectedFault) as exc:
+            # A dropped write is a future miss, never a batch failure.
+            self._io_error("put", key, exc)
+            self._disk_outcome(ok=False)
+            return
+        self._disk_outcome(ok=True)
         self.stats.puts += 1
 
     def delete(self, key: str) -> bool:
@@ -176,11 +304,14 @@ class DiskCacheStore:
 
     def keys(self) -> Iterator[str]:
         for path in sorted(self.root.glob("*/*.json")):
-            yield path.stem
+            if self._is_live(path):
+                yield path.stem
 
     def clear(self) -> int:
         count = 0
         for path in self.root.glob("*/*.json"):
+            if not self._is_live(path):
+                continue
             path.unlink()
             count += 1
         return count
@@ -191,20 +322,119 @@ class DiskCacheStore:
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
+    # -- doctor ----------------------------------------------------------
+    def _validate_file(self, path: Path) -> bool:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                json.load(handle)
+            return True
+        except (OSError, ValueError, UnicodeDecodeError):
+            return False
+
+    def doctor(self, repair: bool = True, purge: bool = False) -> DoctorReport:
+        """Scan every entry; quarantine corrupt ones, restore healthy ones.
+
+        ``repair=False`` only reports.  ``purge=True`` additionally deletes
+        whatever remains in the quarantine sidecar after restoration.
+        Restoration never overwrites a live entry (the recompiled entry,
+        if any, is fresher than the quarantined copy).
+        """
+        scanned = healthy = corrupt = quarantined = restored = purged = 0
+        for key in list(self.keys()):
+            path = self._path(key)
+            scanned += 1
+            if self._validate_file(path):
+                healthy += 1
+                continue
+            corrupt += 1
+            if repair:
+                self._quarantine(key, path, "doctor scan: unreadable entry")
+                quarantined += 1
+        if self.quarantine_dir.is_dir():
+            for path in sorted(self.quarantine_dir.glob("*.json")):
+                key = path.stem
+                if repair and self._validate_file(path):
+                    try:
+                        target = self._path(key)
+                        if not target.exists():
+                            target.parent.mkdir(parents=True, exist_ok=True)
+                            os.replace(path, target)
+                            restored += 1
+                            continue
+                    except (OSError, ValueError):
+                        pass
+                if purge:
+                    try:
+                        path.unlink()
+                        purged += 1
+                    except OSError:
+                        pass
+        backlog = (
+            sum(1 for _ in self.quarantine_dir.glob("*.json"))
+            if self.quarantine_dir.is_dir()
+            else 0
+        )
+        report = DoctorReport(
+            scanned=scanned,
+            healthy=healthy,
+            corrupt=corrupt,
+            quarantined=quarantined,
+            restored=restored,
+            purged=purged,
+            quarantine_backlog=backlog,
+        )
+        logger.info(
+            "cache doctor on %s: scanned %d, healthy %d, corrupt %d "
+            "(quarantined %d, restored %d, purged %d, backlog %d)",
+            self.root,
+            report.scanned,
+            report.healthy,
+            report.corrupt,
+            report.quarantined,
+            report.restored,
+            report.purged,
+            report.quarantine_backlog,
+        )
+        return report
+
 
 class TieredCache:
-    """Memory store in front of a disk store (read-through, write-through)."""
+    """Memory store in front of a disk store (read-through, write-through).
 
-    def __init__(self, memory: Optional[MemoryCacheStore] = None,
-                 disk: Optional[DiskCacheStore] = None):
+    With a ``breaker``, every disk access first asks
+    :meth:`~repro.service.resilience.CircuitBreaker.allow`; while the
+    breaker is open the cache serves memory-only — reads skip the disk,
+    writes land in memory and are simply not persisted — and recovers on
+    its own once the half-open probe sees a healthy disk again.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[MemoryCacheStore] = None,
+        disk: Optional[DiskCacheStore] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
         self.memory = memory if memory is not None else MemoryCacheStore()
         self.disk = disk
+        self.breaker = breaker
+        if breaker is not None and disk is not None and disk.breaker is None:
+            disk.breaker = breaker  # store outcomes feed the shared breaker
         self.stats = CacheStats()
+
+    def _disk_ready(self) -> bool:
+        if self.disk is None:
+            return False
+        if self.breaker is None:
+            return True
+        if self.breaker.allow():
+            return True
+        obs_metrics.counter("repro_cache_degraded_ops_total").inc()
+        return False
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         value = self.memory.get(key)
         if value is None:
-            if self.disk is not None:
+            if self._disk_ready():
                 value = self.disk.get(key)
                 if value is not None:
                     self.memory.put(key, value)
@@ -224,7 +454,7 @@ class TieredCache:
 
     def put(self, key: str, value: Dict[str, Any]) -> None:
         self.memory.put(key, value)
-        if self.disk is not None:
+        if self._disk_ready():
             self.disk.put(key, value)
         self.stats.puts += 1
 
@@ -264,17 +494,26 @@ def open_cache(
     cache_dir: Optional[Union[str, Path]] = None,
     depth: Optional[int] = None,
     width: Optional[int] = None,
+    breaker: Optional[CircuitBreaker] = None,
 ) -> TieredCache:
     """A tiered cache backed by ``cache_dir`` (memory-only when ``None``).
 
     The disk tier is a :class:`repro.service.shardcache.ShardedDiskCacheStore`
     whose default layout is byte-compatible with :class:`DiskCacheStore`
     directories; ``depth``/``width`` configure the shard fan-out for new
-    caches (an existing cache keeps its recorded layout).
+    caches (an existing cache keeps its recorded layout).  The tier is
+    guarded by ``breaker`` (a default disk breaker when omitted): repeated
+    I/O failures open it and the cache degrades to memory-only until the
+    disk recovers.
     """
     if cache_dir is None:
         return TieredCache(disk=None)
     # Imported here: shardcache extends this module's DiskCacheStore.
     from repro.service.shardcache import ShardedDiskCacheStore
 
-    return TieredCache(disk=ShardedDiskCacheStore(cache_dir, depth=depth, width=width))
+    if breaker is None:
+        breaker = CircuitBreaker("cache.disk", window=16, cooldown=15.0)
+    return TieredCache(
+        disk=ShardedDiskCacheStore(cache_dir, depth=depth, width=width),
+        breaker=breaker,
+    )

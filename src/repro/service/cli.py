@@ -9,10 +9,13 @@ registry::
     phoenix batch --manifest jobs.json --executor process --timeout 120
     phoenix batch --manifest jobs.json --trace-out trace.jsonl \
         --metrics-out metrics.prom --log-level info
+    phoenix batch --manifest jobs.json --journal run.wal --resume
     phoenix profile --limit 4
     phoenix profile --input batch-summaries.json
     phoenix cache stats --cache-dir .phoenix-cache
     phoenix cache prune --cache-dir .phoenix-cache --max-bytes 200M --max-age 7d
+    phoenix cache doctor --cache-dir .phoenix-cache
+    phoenix chaos --scenario ci-smoke --seed 7 --limit 4
     phoenix workload list
     phoenix workload build "tfim:n=12,lattice=ring" --output program.json
     phoenix workload compile "heisenberg:n=16,lattice=grid,rows=4,cols=4" \
@@ -32,6 +35,14 @@ Observability: every subcommand accepts ``--log-level``/``--log-json``
 nesting per-stage spans) and ``--metrics-out`` (Prometheus text or,
 with a ``.json`` suffix, a snapshot dict); ``profile`` aggregates
 per-stage timings across a suite and names the hottest stage.
+
+Resilience: ``batch --journal PATH`` write-ahead-logs each terminal job
+outcome; re-running with ``--resume`` replays finished jobs and
+recompiles only the rest (a first SIGINT/SIGTERM drains in-flight jobs
+and keeps the journal consistent; exit code 130).  ``cache doctor``
+quarantines/restores corrupt cache entries; ``chaos`` runs the pinned
+bench suite under a seeded fault-injection scenario and reports the
+survival table.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -50,7 +62,9 @@ from repro.serialize.results import (
     workload_to_dict,
 )
 from repro.service.cache import open_cache
+from repro.service.journal import BatchJournal
 from repro.service.registry import CompilerOptions, compiler_names
+from repro.service.resilience import shutdown_guard
 from repro.service.service import (
     CompilationJob,
     CompilationService,
@@ -118,6 +132,8 @@ def _job_summary(job_result: JobResult) -> Dict[str, Any]:
         "status": job_result.status,
         "cached": job_result.cached,
         "deduplicated": job_result.deduplicated,
+        "resumed": job_result.resumed,
+        "cancelled": job_result.cancelled,
         "elapsed": job_result.elapsed,
         "attempts": job_result.attempts,
         "key": job_result.key,
@@ -270,6 +286,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("error: provide benchmark names or --manifest FILE")
 
+    if args.resume and not args.journal:
+        raise SystemExit("error: --resume needs --journal PATH")
+
     service = CompilationService(cache=open_cache(args.cache_dir))
     progress = None if args.quiet else _stderr_progress
     trace_sink: Optional[obs.JsonlSink] = None
@@ -277,15 +296,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.trace_out:
         trace_sink = obs.JsonlSink(args.trace_out)
         previous_sink = obs.set_sink(trace_sink)
+    journal = BatchJournal(args.journal, fsync=args.fsync) if args.journal else None
+    cancel = threading.Event()
     try:
-        job_results = service.compile_many(
-            jobs,
-            workers=args.workers,
-            executor=args.executor,
-            timeout=args.timeout,
-            progress=progress,
-        )
+        with shutdown_guard(cancel):
+            job_results = service.compile_many(
+                jobs,
+                workers=args.workers,
+                executor=args.executor,
+                timeout=args.timeout,
+                progress=progress,
+                journal=journal,
+                resume=args.resume,
+                cancel=cancel,
+            )
     finally:
+        if journal is not None:
+            journal.close()
         if trace_sink is not None:
             obs.set_sink(previous_sink)
             trace_sink.close()
@@ -305,7 +332,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 summary["name"],
                 summary["status"],
                 "hit" if summary["cached"]
-                else "dedup" if summary["deduplicated"] else "miss",
+                else "dedup" if summary["deduplicated"]
+                else "resume" if summary["resumed"] else "miss",
                 metrics.get("cx_count", "-"),
                 metrics.get("depth_2q", "-"),
                 f"{summary['elapsed']:.2f}s",
@@ -316,6 +344,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         _emit(table + "\n", args.output)
 
     failed = sum(1 for summary in summaries if summary["status"] != "ok")
+    if cancel.is_set():
+        skipped = sum(1 for summary in summaries if summary["cancelled"])
+        sys.stderr.write(
+            f"batch interrupted: {skipped} job(s) skipped"
+            + (f"; resume with --journal {args.journal} --resume\n" if args.journal else "\n")
+        )
+        return 130
     if failed:
         sys.stderr.write(f"{failed} of {len(summaries)} jobs failed\n")
     return 1 if failed else 0
@@ -510,7 +545,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         if report.removed_tmp_files:
             print(f"swept {report.removed_tmp_files} stale temp files")
+    elif args.action == "doctor":
+        health = store.doctor(repair=not args.report_only, purge=args.purge)
+        print(f"cache: {args.cache_dir}")
+        print(
+            f"scanned {health.scanned} entries: {health.healthy} healthy, "
+            f"{health.corrupt} corrupt"
+        )
+        if args.report_only:
+            print("report only: no entries were moved (re-run without --report-only)")
+        else:
+            print(
+                f"quarantined {health.quarantined}, restored {health.restored}, "
+                f"purged {health.purged}"
+            )
+        print(f"quarantine backlog: {health.quarantine_backlog}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.service import faultlab
+    from repro.service.chaos import format_chaos_report, run_chaos
+
+    scenario = faultlab.resolve_scenario(args.scenario, seed=args.seed)
+    report = run_chaos(
+        scenario,
+        limit=args.limit,
+        executor=args.executor,
+        workers=args.workers,
+        timeout=args.timeout,
+        verify=not args.no_verify,
+    )
+    if args.format == "json":
+        _emit(json.dumps(report, indent=2, sort_keys=True) + "\n", args.output)
+    else:
+        _emit(format_chaos_report(report) + "\n", args.output)
+    return 0 if report["survived"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -593,6 +663,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry after the batch (Prometheus text, "
              "or a JSON snapshot when the path ends in .json)",
     )
+    batch_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append each terminal job outcome to this crash-safe JSONL "
+             "write-ahead log (use with --resume to continue a killed batch)",
+    )
+    batch_parser.add_argument(
+        "--resume", action="store_true",
+        help="replay jobs already terminal in --journal instead of "
+             "recompiling them",
+    )
+    batch_parser.add_argument(
+        "--fsync", default="line", choices=["line", "close", "off"],
+        help="journal durability: fsync per record, once at close, or "
+             "never (default: line)",
+    )
     batch_parser.set_defaults(func=_cmd_batch)
 
     profile_parser = subparsers.add_parser(
@@ -670,11 +755,12 @@ def build_parser() -> argparse.ArgumentParser:
     wl_compile.set_defaults(func=_cmd_workload_compile)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect, prune, or clear an on-disk result cache",
+        "cache",
+        help="inspect, prune, clear, or health-check an on-disk result cache",
         parents=[logging_parent],
     )
     cache_parser.add_argument(
-        "action", choices=["info", "stats", "ls", "clear", "prune"]
+        "action", choices=["info", "stats", "ls", "clear", "prune", "doctor"]
     )
     cache_parser.add_argument("--cache-dir", required=True, help="cache directory")
     cache_parser.add_argument(
@@ -687,7 +773,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: evict entries older than this (accepts suffixes "
              "s/m/h/d/w, e.g. 7d)",
     )
+    cache_parser.add_argument(
+        "--report-only", action="store_true",
+        help="doctor: only report corrupt entries, do not quarantine/restore",
+    )
+    cache_parser.add_argument(
+        "--purge", action="store_true",
+        help="doctor: delete unrecoverable entries left in the quarantine "
+             "sidecar after restoration",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the pinned bench suite under seeded fault injection and "
+             "report the survival table",
+        parents=[logging_parent],
+    )
+    chaos_parser.add_argument(
+        "--scenario", default="ci-smoke",
+        help="builtin scenario name (ci-smoke, cache-corruption, "
+             "disk-pressure, flaky-workers) or a path to a scenario JSON "
+             "file (default: ci-smoke)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario seed (pins the exact fault sequence)",
+    )
+    chaos_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N jobs of the pinned bench suite",
+    )
+    chaos_parser.add_argument(
+        "--executor", default="serial", choices=["serial", "process", "auto"],
+        help="execution backend for the chaos pass (default: serial)",
+    )
+    chaos_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the chaos pass (default: auto)",
+    )
+    chaos_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (default: unlimited)",
+    )
+    chaos_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the fault-free reference pass and byte-identity check",
+    )
+    chaos_parser.add_argument(
+        "--format", default="table", choices=["table", "json"],
+        help="output format (default: table)",
+    )
+    chaos_parser.add_argument(
+        "--output", default=None, help="output file (default: stdout)"
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     return parser
 

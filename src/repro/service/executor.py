@@ -10,9 +10,14 @@ pool with
 * a per-job wall-clock timeout enforced *inside* the worker via
   ``SIGALRM`` (a slow job becomes an error result without killing or
   blocking its worker),
-* bounded retry — a job whose attempt timed out or whose worker died is
-  re-executed up to ``retries`` more times (re-dispatched to the pool
-  while it is healthy, inline once it is broken), and
+* bounded retry under a shared :class:`~repro.service.resilience.RetryPolicy`
+  — a job whose attempt timed out or whose worker died is re-executed
+  (re-dispatched to the pool while it is healthy, inline once it is
+  broken), with exponential seeded-jitter backoff on inline retries and a
+  per-batch deadline budget that stops granting retries once spent,
+* an optional :class:`~repro.service.resilience.CircuitBreaker` guarding
+  the pool: while it is open, batches skip straight to serial inline
+  execution instead of re-paying the broken-pool discovery cost, and
 * ordered result collection: results come back aligned with the input
   payload order no matter which worker finished first, with per-job
   errors captured as result dicts rather than raised.
@@ -21,8 +26,9 @@ Both executors share one contract: ``run(payloads)`` takes a sequence of
 JSON-compatible payload dicts and returns one raw result dict per
 payload, in order.  A raw result always carries ``status`` ("ok" or
 "error"), ``elapsed``, and ``attempts``; timeouts additionally carry
-``timeout: True``.  The payload runner is pluggable (``runner=``) so the
-retry/timeout machinery is testable without compiling anything; the
+``timeout: True`` and jobs skipped by a cancel token carry
+``cancelled: True``.  The payload runner is pluggable (``runner=``) so
+the retry/timeout machinery is testable without compiling anything; the
 default runner :func:`execute_payload` compiles one serialized
 compilation job exactly as :class:`repro.service.CompilationService`
 prepares them.
@@ -30,10 +36,12 @@ prepares them.
 
 from __future__ import annotations
 
+import functools
 import logging
 import multiprocessing
 import os
 import signal
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -41,6 +49,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.service import faultlab
+from repro.service.resilience import CircuitBreaker, RetryPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -72,6 +82,7 @@ def _compile_payload(payload: Dict[str, Any]) -> RawResult:
 
     started = time.perf_counter()
     try:
+        faultlab.fire("worker.compile", name=payload.get("name"))
         terms = terms_from_dict(payload["program"])
         compiler = CompilerOptions.from_dict(payload["options"]).build()
         result = compiler.compile(terms)
@@ -139,6 +150,16 @@ def _timeout_result(payload: Dict[str, Any], timeout: float, elapsed: float) -> 
     }
 
 
+def _cancelled_result(payload: Dict[str, Any]) -> RawResult:
+    return {
+        "index": payload.get("index"),
+        "status": "error",
+        "error": "cancelled before start (shutdown requested)",
+        "cancelled": True,
+        "elapsed": 0.0,
+    }
+
+
 def run_payload_with_timeout(
     payload: Dict[str, Any],
     timeout: Optional[float],
@@ -148,9 +169,22 @@ def run_payload_with_timeout(
 
     Returns the runner's result dict, or a ``timeout: True`` error dict
     when the alarm fires first.  Falls back to an unbounded run where
-    alarms are unavailable (non-POSIX platforms, non-main threads).
+    alarms are unavailable (non-POSIX platforms, non-main threads), with
+    a warning rather than a raw ``ValueError`` from ``signal.signal``.
+    The previous ``SIGALRM`` handler is always restored and the alarm
+    always cancelled, even when the runner raises.
     """
     if not timeout or timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        return runner(payload)
+    if threading.current_thread() is not threading.main_thread():
+        # signal.signal would raise a bare ValueError here; be explicit
+        # about what happens instead of surfacing an installation error.
+        logger.warning(
+            "per-job timeouts need the main thread (SIGALRM); running job "
+            "%r without a %gs budget",
+            payload.get("name", payload.get("index")),
+            timeout,
+        )
         return runner(payload)
 
     def _on_alarm(signum: int, frame: Any) -> None:
@@ -158,14 +192,15 @@ def run_payload_with_timeout(
 
     try:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
-    except ValueError:  # not the main thread: alarms cannot be delivered
+    except ValueError:  # pragma: no cover - embedded interpreters
         return runner(payload)
     started = time.perf_counter()
-    signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return runner(payload)
-    except JobTimeout:
-        return _timeout_result(payload, timeout, time.perf_counter() - started)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return runner(payload)
+        except JobTimeout:
+            return _timeout_result(payload, timeout, time.perf_counter() - started)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -178,23 +213,79 @@ def _execute_chunk(
     return [run_payload_with_timeout(payload, timeout, runner) for payload in payloads]
 
 
+def _pool_worker_init(warmup: bool) -> None:
+    """Pool initializer: make workers SIGINT-immune, optionally pre-warm.
+
+    Ctrl-C must reach only the dispatching process (where
+    :class:`~repro.service.resilience.shutdown_guard` turns it into a
+    drain), not every fork-pool child at once — interrupted children
+    break the pool and lose the in-flight jobs a drain wants to keep.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    if warmup:
+        warm_worker_process()
+
+
+def _resolve_policy(
+    retries: Optional[int], retry_policy: Optional[RetryPolicy], default_retries: int
+) -> RetryPolicy:
+    """Reconcile the legacy ``retries`` count with a full ``retry_policy``."""
+    if retry_policy is None:
+        count = default_retries if retries is None else max(0, int(retries))
+        return RetryPolicy(max_retries=count)
+    if retries is not None and int(retries) != retry_policy.max_retries:
+        return retry_policy.with_retries(int(retries))
+    return retry_policy
+
+
+def _retryable(policy: RetryPolicy, raw: RawResult) -> bool:
+    """Should this attempt's outcome be retried (budget permitting)?"""
+    if raw.get("cancelled"):
+        return False
+    if raw.get("timeout"):
+        return True
+    return bool(policy.retry_errors) and raw.get("status") == "error"
+
+
 class SerialExecutor:
     """Run payloads inline, in order, with the same timeout/retry contract."""
 
     name = "serial"
 
-    def __init__(self, timeout: Optional[float] = None, retries: int = 0):
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.timeout = timeout
-        self.retries = max(0, int(retries))
+        self.retry_policy = _resolve_policy(retries, retry_policy, default_retries=0)
+
+    @property
+    def retries(self) -> int:
+        return self.retry_policy.max_retries
 
     def run(
         self,
         payloads: Sequence[Dict[str, Any]],
         progress: Optional[ProgressFn] = None,
         runner: Runner = execute_payload,
+        cancel: Optional[threading.Event] = None,
     ) -> List[RawResult]:
+        session = self.retry_policy.start()
         results: List[RawResult] = []
         for position, payload in enumerate(payloads):
+            token = payload.get("name", payload.get("index", position))
+            if cancel is not None and cancel.is_set():
+                raw = _cancelled_result(payload)
+                raw["attempts"] = 0
+                results.append(raw)
+                if progress is not None:
+                    progress(position, raw)
+                continue
             attempts = 0
             while True:
                 attempts += 1
@@ -203,13 +294,17 @@ class SerialExecutor:
                     obs_metrics.counter(
                         "repro_executor_timeouts_total", executor=self.name
                     ).inc()
-                if not (raw.get("timeout") and attempts <= self.retries):
+                if not (_retryable(self.retry_policy, raw) and session.should_retry(attempts)):
                     break
+                if cancel is not None and cancel.is_set():
+                    break  # drain: keep this outcome, do not burn retries
+                if not session.backoff(attempts, token=token):
+                    break  # deadline budget cannot afford the next sleep
                 obs_metrics.counter(
                     "repro_executor_retries_total", executor=self.name
                 ).inc()
                 logger.info(
-                    "retrying timed-out job %s (attempt %d/%d)",
+                    "retrying failed job %s (attempt %d/%d)",
                     payload.get("name", payload.get("index")),
                     attempts + 1,
                     self.retries + 1,
@@ -240,19 +335,26 @@ class ProcessExecutor:
         self,
         max_workers: Optional[int] = None,
         timeout: Optional[float] = None,
-        retries: int = 1,
+        retries: Optional[int] = None,
         chunk_size: Optional[int] = None,
         warmup: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.max_workers = max_workers
         self.timeout = timeout
-        self.retries = max(0, int(retries))
+        self.retry_policy = _resolve_policy(retries, retry_policy, default_retries=1)
         self.chunk_size = chunk_size
         self.warmup = warmup
+        self.breaker = breaker
+
+    @property
+    def retries(self) -> int:
+        return self.retry_policy.max_retries
 
     # ------------------------------------------------------------------
     def _serial(self) -> SerialExecutor:
-        return SerialExecutor(timeout=self.timeout, retries=self.retries)
+        return SerialExecutor(timeout=self.timeout, retry_policy=self.retry_policy)
 
     def _open_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
         try:
@@ -263,7 +365,7 @@ class ProcessExecutor:
             return ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=context,
-                initializer=warm_worker_process if self.warmup else None,
+                initializer=functools.partial(_pool_worker_init, self.warmup),
             )
         except (OSError, PermissionError, ValueError):  # pragma: no cover
             return None  # restricted environment: no subprocesses allowed
@@ -280,6 +382,7 @@ class ProcessExecutor:
         payloads: Sequence[Dict[str, Any]],
         progress: Optional[ProgressFn] = None,
         runner: Runner = execute_payload,
+        cancel: Optional[threading.Event] = None,
     ) -> List[RawResult]:
         payloads = list(payloads)
         if not payloads:
@@ -287,16 +390,40 @@ class ProcessExecutor:
         workers = self.max_workers or default_worker_count(len(payloads))
         workers = max(1, min(int(workers), len(payloads)))
         if workers == 1 or len(payloads) == 1:
-            return self._serial().run(payloads, progress=progress, runner=runner)
+            return self._serial().run(
+                payloads, progress=progress, runner=runner, cancel=cancel
+            )
+        # The breaker remembers recent pool health: while open, skip the
+        # broken-pool discovery cost and go straight to inline execution.
+        # Consulting it *after* the single-worker early-out means serial
+        # batches never consume the half-open probe slot.
+        if self.breaker is not None and not self.breaker.allow():
+            obs_metrics.counter("repro_executor_breaker_fallbacks_total").inc()
+            logger.warning(
+                "process-pool circuit breaker %r is %s; running %d job(s) "
+                "serially",
+                self.breaker.name,
+                self.breaker.state,
+                len(payloads),
+            )
+            return self._serial().run(
+                payloads, progress=progress, runner=runner, cancel=cancel
+            )
+        pool_failed = False
         pool = self._open_pool(workers)
         if pool is None:
             obs_metrics.counter("repro_executor_broken_pools_total").inc()
+            if self.breaker is not None:
+                self.breaker.record_failure()
             logger.warning(
                 "cannot start a process pool here; running %d job(s) serially",
                 len(payloads),
             )
-            return self._serial().run(payloads, progress=progress, runner=runner)
+            return self._serial().run(
+                payloads, progress=progress, runner=runner, cancel=cancel
+            )
 
+        session = self.retry_policy.start()
         chunk_size = self.chunk_size or max(1, len(payloads) // (workers * 4))
         results: List[Optional[RawResult]] = [None] * len(payloads)
         attempts = [0] * len(payloads)
@@ -309,19 +436,26 @@ class ProcessExecutor:
             if progress is not None:
                 progress(position, raw)
 
+        def cancelled() -> bool:
+            return cancel is not None and cancel.is_set()
+
         def submit(positions: List[int]) -> bool:
-            nonlocal pool_broken
+            nonlocal pool_broken, pool_failed
             if pool_broken:
                 return False
             try:
+                faultlab.fire("executor.dispatch", jobs=len(positions))
                 future = pool.submit(
                     _execute_chunk,
                     [payloads[position] for position in positions],
                     self.timeout,
                     runner,
                 )
-            except RuntimeError:  # pool already broken or shut down
+            except (RuntimeError, faultlab.InjectedFault):
+                # Pool already broken/shut down, or the fault lab decided
+                # dispatch fails today: same fallback either way.
                 pool_broken = True
+                pool_failed = True
                 obs_metrics.counter("repro_executor_broken_pools_total").inc()
                 logger.warning(
                     "process pool broke; remaining jobs fall back to inline "
@@ -334,16 +468,27 @@ class ProcessExecutor:
         def resolve_inline(position: int) -> None:
             """Final bounded retries once the pool cannot take the job."""
             obs_metrics.counter("repro_executor_inline_fallbacks_total").inc()
+            payload = payloads[position]
+            token = payload.get("name", payload.get("index", position))
             while attempts[position] <= self.retries:
                 attempts[position] += 1
-                raw = run_payload_with_timeout(payloads[position], self.timeout, runner)
+                raw = run_payload_with_timeout(payload, self.timeout, runner)
                 if raw.get("timeout"):
                     obs_metrics.counter(
                         "repro_executor_timeouts_total", executor=self.name
                     ).inc()
-                if not (raw.get("timeout") and attempts[position] <= self.retries):
+                retry = (
+                    _retryable(self.retry_policy, raw)
+                    and session.should_retry(attempts[position])
+                    and not cancelled()
+                    and session.backoff(attempts[position], token=token)
+                )
+                if not retry:
                     finish(position, raw)
                     return
+                obs_metrics.counter(
+                    "repro_executor_retries_total", executor=self.name
+                ).inc()
 
         def handle_raw(position: int, raw: RawResult) -> None:
             attempts[position] += 1
@@ -351,22 +496,32 @@ class ProcessExecutor:
                 obs_metrics.counter(
                     "repro_executor_timeouts_total", executor=self.name
                 ).inc()
-            if raw.get("timeout") and attempts[position] <= self.retries:
+            wants_retry = (
+                _retryable(self.retry_policy, raw)
+                and session.should_retry(attempts[position])
+                and not cancelled()
+            )
+            if wants_retry:
                 obs_metrics.counter(
                     "repro_executor_retries_total", executor=self.name
                 ).inc()
                 logger.info(
-                    "re-dispatching timed-out job %s (attempt %d/%d)",
+                    "re-dispatching failed job %s (attempt %d/%d)",
                     payloads[position].get("name", position),
                     attempts[position] + 1,
                     self.retries + 1,
                 )
+                # No backoff sleep here: a re-dispatched job queues behind
+                # the in-flight chunks, and sleeping would stall result
+                # collection for every other job.
                 if not submit([position]):
                     resolve_inline(position)
             else:
                 finish(position, raw)
 
         def handle_chunk_failure(positions: List[int], error: str) -> None:
+            nonlocal pool_failed
+            pool_failed = True
             logger.warning(
                 "worker chunk of %d job(s) failed; retrying survivors inline: %s",
                 len(positions),
@@ -376,7 +531,7 @@ class ProcessExecutor:
                 if results[position] is not None:
                     continue
                 attempts[position] += 1
-                if attempts[position] <= self.retries:
+                if session.should_retry(attempts[position]) and not cancelled():
                     obs_metrics.counter(
                         "repro_executor_retries_total", executor=self.name
                     ).inc()
@@ -396,12 +551,32 @@ class ProcessExecutor:
         try:
             for start in range(0, len(payloads), chunk_size):
                 chunk = list(range(start, min(start + chunk_size, len(payloads))))
+                if cancelled():
+                    for position in chunk:
+                        finish(position, _cancelled_result(payloads[position]))
+                    continue
                 if not submit(chunk):
                     # Pool broke mid-dispatch: this chunk (and, via the
                     # pool_broken latch, every later one) runs inline.
                     for position in chunk:
-                        resolve_inline(position)
+                        if cancelled():
+                            finish(position, _cancelled_result(payloads[position]))
+                        else:
+                            resolve_inline(position)
             while pending:
+                if cancelled():
+                    # Drain mode: cancel chunks still queued (their jobs
+                    # report as cancelled), let running chunks finish.
+                    for future in list(pending):
+                        if future.cancel():
+                            for position in pending.pop(future):
+                                if results[position] is None:
+                                    finish(
+                                        position,
+                                        _cancelled_result(payloads[position]),
+                                    )
+                    if not pending:
+                        break
                 max_len = max(len(positions) for positions in pending.values())
                 done, _ = wait(
                     pending,
@@ -440,8 +615,18 @@ class ProcessExecutor:
                         continue
                     for position, raw in zip(positions, raws):
                         handle_raw(position, raw)
+        except BaseException:
+            pool_failed = True
+            raise
         finally:
             pool.shutdown(wait=not wedged, cancel_futures=True)
+            if self.breaker is not None:
+                # Every allow() gets exactly one outcome, so a half-open
+                # probe can never wedge the breaker.
+                if pool_failed or wedged:
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
 
         # Belt and braces: no payload may come back without a result dict.
         for position, raw in enumerate(results):
@@ -467,7 +652,9 @@ def resolve_executor(
     num_jobs: int = 0,
     max_workers: Optional[int] = None,
     timeout: Optional[float] = None,
-    retries: int = 1,
+    retries: Optional[int] = 1,
+    retry_policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
 ) -> Executor:
     """Turn an executor spec into an executor instance.
 
@@ -487,5 +674,11 @@ def resolve_executor(
     if spec == "auto":
         spec = "process" if num_jobs > 1 and workers > 1 else "serial"
     if spec == "serial":
-        return SerialExecutor(timeout=timeout, retries=retries)
-    return ProcessExecutor(max_workers=workers, timeout=timeout, retries=retries)
+        return SerialExecutor(timeout=timeout, retries=retries, retry_policy=retry_policy)
+    return ProcessExecutor(
+        max_workers=workers,
+        timeout=timeout,
+        retries=retries,
+        retry_policy=retry_policy,
+        breaker=breaker,
+    )

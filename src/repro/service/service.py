@@ -23,6 +23,7 @@ parallel batch facility:
 from __future__ import annotations
 
 import logging
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -33,7 +34,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.paulis.pauli import PauliTerm
 from repro.pipeline.options import as_terms
-from repro.serialize.results import result_from_dict, terms_to_dict
+from repro.serialize.results import result_from_dict, result_to_dict, terms_to_dict
 from repro.service.cache import CacheStore, MemoryCacheStore, compilation_cache_key
 from repro.service.executor import (
     Executor,
@@ -42,7 +43,9 @@ from repro.service.executor import (
     execute_payload,
     resolve_executor,
 )
+from repro.service.journal import BatchJournal, open_journal
 from repro.service.registry import CompilerOptions
+from repro.service.resilience import CircuitBreaker, RetryPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -81,6 +84,12 @@ class JobResult:
     key: str = ""
     #: Executor attempts this job consumed (timeout/crash retries included).
     attempts: int = 1
+    #: True when this outcome was replayed from a batch journal instead of
+    #: being recompiled (``compile_many(..., resume=True)``).
+    resumed: bool = False
+    #: True when the job was skipped by a shutdown cancel token before it
+    #: ever ran (its status is "error", but no work was attempted).
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -92,8 +101,8 @@ class ProgressEvent:
     """One finished job, as seen by a ``compile_many`` progress callback.
 
     ``outcome`` is ``"hit"``, ``"dedup"``, ``"miss"`` (freshly compiled),
-    or ``"error"``; ``completed``/``total`` make ``k/N done`` lines
-    trivial for callers.
+    ``"resume"`` (replayed from a batch journal), or ``"error"``;
+    ``completed``/``total`` make ``k/N done`` lines trivial for callers.
     """
 
     name: str
@@ -128,13 +137,26 @@ class CompilationService:
         executor: Union[str, Executor, None] = "auto",
         max_workers: Optional[int] = None,
         timeout: Optional[float] = None,
-        retries: int = 1,
+        retries: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        pool_breaker: Optional[CircuitBreaker] = None,
     ):
         self.cache = cache if cache is not None else MemoryCacheStore()
         self.executor = executor if executor is not None else "auto"
         self.max_workers = max_workers
         self.timeout = timeout
-        self.retries = retries
+        self.retry_policy = retry_policy
+        if retries is not None:
+            self.retries = int(retries)
+        elif retry_policy is not None:
+            self.retries = retry_policy.max_retries
+        else:
+            self.retries = 1
+        # One breaker per service: pool health learned in one batch keeps
+        # later batches from re-paying the broken-pool discovery cost.
+        self.pool_breaker = (
+            pool_breaker if pool_breaker is not None else CircuitBreaker("executor.pool")
+        )
         self._options_fingerprints: Dict[CompilerOptions, str] = {}
 
     # ------------------------------------------------------------------
@@ -165,6 +187,9 @@ class CompilationService:
         executor: Union[str, Executor, None] = None,
         timeout: Optional[float] = _UNSET,
         progress: Optional[ProgressCallback] = None,
+        journal: Union[str, BatchJournal, None] = None,
+        resume: bool = False,
+        cancel: Optional[threading.Event] = None,
     ) -> List[JobResult]:
         """Compile a batch of jobs, returning results in submission order.
 
@@ -176,11 +201,26 @@ class CompilationService:
         budget for this batch, with an explicit ``timeout=None`` meaning
         unlimited; ``progress`` is called once per job as it completes,
         cache hits included.
+
+        ``journal`` (a path or an open :class:`BatchJournal`) appends each
+        terminal job outcome to a crash-safe write-ahead log;
+        ``resume=True`` additionally replays terminal outcomes already in
+        that journal instead of recompiling them.  ``cancel`` is a
+        :class:`threading.Event`: once set, jobs that have not started are
+        skipped (``cancelled: True`` error results) while in-flight jobs
+        drain normally — :class:`repro.service.resilience.shutdown_guard`
+        sets it on the first SIGINT/SIGTERM.
         """
-        with obs_trace.span("compile_many", jobs=len(jobs)) as batch_span:
-            return self._compile_many(
-                jobs, workers, executor, timeout, progress, batch_span
-            )
+        wal, owns_wal = open_journal(journal)
+        try:
+            with obs_trace.span("compile_many", jobs=len(jobs)) as batch_span:
+                return self._compile_many(
+                    jobs, workers, executor, timeout, progress, batch_span,
+                    wal, resume, cancel,
+                )
+        finally:
+            if owns_wal and wal is not None:
+                wal.close()
 
     def _compile_many(
         self,
@@ -190,6 +230,9 @@ class CompilationService:
         timeout: Optional[float],
         progress: Optional[ProgressCallback],
         batch_span: obs_trace.SpanLike,
+        journal: Optional[BatchJournal] = None,
+        resume: bool = False,
+        cancel: Optional[threading.Event] = None,
     ) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[Dict[str, Any]] = []
@@ -201,11 +244,41 @@ class CompilationService:
         completed = 0
         batch_started = time.perf_counter()
 
+        replayed: Dict[str, Dict[str, Any]] = {}
+        if resume and journal is not None:
+            replayed = journal.completed()
+            if replayed:
+                logger.info(
+                    "resuming from journal %s: %d job(s) already terminal",
+                    journal.path,
+                    len(replayed),
+                )
+
+        def record_outcome(job_result: JobResult) -> None:
+            """WAL one terminal outcome (skips replays and cancellations)."""
+            if journal is None or not job_result.key:
+                return
+            if job_result.resumed or job_result.cancelled:
+                return
+            entry: Dict[str, Any] = {
+                "key": job_result.key,
+                "name": job_result.name,
+                "status": job_result.status,
+                "elapsed": job_result.elapsed,
+                "attempts": job_result.attempts,
+            }
+            if job_result.ok and job_result.result is not None:
+                entry["result"] = result_to_dict(job_result.result)
+            elif job_result.error is not None:
+                entry["error"] = job_result.error
+            journal.record(entry)
+
         def emit(job_result: JobResult, outcome: str) -> None:
             nonlocal completed
             completed += 1
             outcome = "error" if not job_result.ok else outcome
             _count_job(outcome)
+            record_outcome(job_result)
             if progress is not None:
                 progress(
                     ProgressEvent(
@@ -249,6 +322,43 @@ class CompilationService:
                 emit(results[index], "error")
                 continue
             keys[index] = key
+            if cached is None and key in replayed:
+                entry = replayed[key]
+                job_result: Optional[JobResult] = None
+                if entry.get("status") == "ok" and isinstance(entry.get("result"), dict):
+                    try:
+                        decoded = result_from_dict(entry["result"])
+                    except Exception:
+                        logger.warning(
+                            "journal result for %r does not decode; recompiling",
+                            job.name,
+                        )
+                    else:
+                        # Re-seed the cache so duplicates and later batches
+                        # hit instead of trusting the journal again.
+                        self.cache.put(key, entry["result"])
+                        job_result = JobResult(
+                            name=job.name,
+                            status="ok",
+                            result=decoded,
+                            resumed=True,
+                            key=key,
+                            attempts=int(entry.get("attempts", 1)),
+                        )
+                elif entry.get("status") == "error":
+                    job_result = JobResult(
+                        name=job.name,
+                        status="error",
+                        error=str(entry.get("error", "failed in a previous run")),
+                        resumed=True,
+                        key=key,
+                        attempts=int(entry.get("attempts", 1)),
+                    )
+                if job_result is not None:
+                    results[index] = job_result
+                    short_span(job_result, "resume")
+                    emit(job_result, "resume")
+                    continue
             if cached is not None:
                 result = result_from_dict(cached)
                 obs_metrics.counter("repro_cache_hits_total", layer="service").inc()
@@ -298,6 +408,8 @@ class CompilationService:
                 max_workers=worker_count,
                 timeout=self.timeout if timeout is _UNSET else timeout,
                 retries=self.retries,
+                retry_policy=self.retry_policy,
+                breaker=self.pool_breaker,
             )
 
             def collect(position: int, raw: RawResult) -> None:
@@ -325,10 +437,12 @@ class CompilationService:
                         elapsed=raw.get("elapsed", 0.0),
                         key=keys[index],
                         attempts=raw.get("attempts", 1),
+                        cancelled=bool(raw.get("cancelled")),
                     )
                     logger.warning(
-                        "job %r failed after %d attempt(s)%s",
+                        "job %r %s after %d attempt(s)%s",
                         job.name,
+                        "was cancelled" if raw.get("cancelled") else "failed",
                         results[index].attempts,
                         " (timeout)" if raw.get("timeout") else "",
                     )
@@ -351,7 +465,14 @@ class CompilationService:
                     job_span.end(status=job_result.status)
                 emit(job_result, "miss")
 
-            raw_results = backend.run(pending, progress=collect, runner=execute_payload)
+            if cancel is not None:
+                raw_results = backend.run(
+                    pending, progress=collect, runner=execute_payload, cancel=cancel
+                )
+            else:
+                raw_results = backend.run(
+                    pending, progress=collect, runner=execute_payload
+                )
             # Backends call ``collect`` as jobs finish; the ordered return
             # value backstops any backend that does not.
             for position, raw in enumerate(raw_results):
@@ -387,17 +508,22 @@ class CompilationService:
 
         ordered = [result for result in results if result is not None]
         failed = sum(1 for result in ordered if not result.ok)
+        cancelled_jobs = sum(1 for result in ordered if result.cancelled)
         logger.info(
-            "batch done: %d jobs (%d hits, %d dedup, %d compiled, %d errors) "
-            "in %.2fs",
+            "batch done: %d jobs (%d hits, %d dedup, %d resumed, %d compiled, "
+            "%d errors, %d cancelled) in %.2fs",
             len(ordered),
             sum(1 for result in ordered if result.cached),
             sum(1 for result in ordered if result.deduplicated),
+            sum(1 for result in ordered if result.resumed),
             len(pending),
             failed,
+            cancelled_jobs,
             time.perf_counter() - batch_started,
         )
-        batch_span.update(completed=len(ordered), errors=failed)
+        batch_span.update(
+            completed=len(ordered), errors=failed, cancelled=cancelled_jobs
+        )
         return ordered
 
     # ------------------------------------------------------------------

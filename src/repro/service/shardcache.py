@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs import metrics as obs_metrics
 from repro.serialize.jsonutil import canonical_json
+from repro.service import faultlab
 from repro.service.cache import DiskCacheStore
 
 logger = logging.getLogger(__name__)
@@ -169,11 +170,10 @@ class ShardedDiskCacheStore(DiskCacheStore):
             self.touch(key)
         return value
 
-    def put(self, key: str, value: Dict[str, Any]) -> None:
+    def _write(self, path: Path, value: Dict[str, Any]) -> None:
         # Same atomic temp-file + rename as the base class, but through the
         # canonical encoder so concurrent writers of one key produce
         # byte-identical files and either rename wins losslessly.
-        path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -186,15 +186,30 @@ class ShardedDiskCacheStore(DiskCacheStore):
             except FileNotFoundError:
                 pass
             raise
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        path = self._path(key)  # invalid keys still raise: caller bug
+        try:
+            faultlab.fire("cache.put", key=key)
+            self._write(path, value)
+        except (OSError, faultlab.InjectedFault) as exc:
+            # Degrade, never raise: a dropped write is a future miss.
+            self._io_error("put", key, exc)
+            self._disk_outcome(ok=False)
+            return
+        self._disk_outcome(ok=True)
         self.stats.puts += 1
 
     def keys(self):
         for path in sorted(self.root.glob(self._entry_glob)):
-            yield path.stem
+            if self._is_live(path):
+                yield path.stem
 
     def clear(self) -> int:
         count = 0
         for path in self.root.glob(self._entry_glob):
+            if not self._is_live(path):
+                continue
             try:
                 path.unlink()
             except FileNotFoundError:
@@ -213,6 +228,8 @@ class ShardedDiskCacheStore(DiskCacheStore):
         """(path, mtime, size) per entry; entries racing away are skipped."""
         entries = []
         for path in self.root.glob(self._entry_glob):
+            if not self._is_live(path):
+                continue
             try:
                 stat = path.stat()
             except OSError:

@@ -1,0 +1,26 @@
+"""Shared isolation for the service tests.
+
+The fault-injection registry is process-global (that is what lets armed
+faults reach every layer without plumbing); make sure no test can leak an
+armed injection into its neighbours.  ``clean_metrics`` is opt-in for
+tests that assert on counter values.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.service import faultlab
+
+
+@pytest.fixture(autouse=True)
+def disarm_faultlab():
+    faultlab.clear()
+    yield
+    faultlab.clear()
+
+
+@pytest.fixture
+def clean_metrics():
+    obs_metrics.REGISTRY.reset()
+    yield obs_metrics.REGISTRY
+    obs_metrics.REGISTRY.reset()

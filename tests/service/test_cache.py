@@ -143,3 +143,66 @@ class TestStores:
         cache = open_cache(tmp_path / "cache")
         cache.put("key", self.PAYLOAD)
         assert open_cache(tmp_path / "cache").get("key") == self.PAYLOAD
+
+
+class TestDegradation:
+    PAYLOAD = {"result": {"depth": 3}}
+
+    def test_put_io_error_degrades_to_a_dropped_write(self, tmp_path):
+        from repro.service import faultlab
+
+        store = DiskCacheStore(tmp_path / "cache")
+        faultlab.inject("cache.put", "disk-full", p=1.0)
+        store.put("k" * 64, self.PAYLOAD)  # must not raise
+        faultlab.clear()
+        assert store.get("k" * 64) is None
+        assert store.stats.io_errors == 1
+
+    def test_get_io_error_degrades_to_a_miss(self, tmp_path):
+        from repro.service import faultlab
+
+        store = DiskCacheStore(tmp_path / "cache")
+        store.put("k" * 64, self.PAYLOAD)
+        faultlab.inject("cache.get", "permission", p=1.0)
+        assert store.get("k" * 64) is None
+        faultlab.clear()
+        assert store.get("k" * 64) == self.PAYLOAD  # entry intact underneath
+
+    def test_tiered_serves_memory_only_while_breaker_is_open(self, tmp_path):
+        from repro.service.resilience import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            "cache.disk", window=4, failure_threshold=0.5, min_calls=2,
+            cooldown=3600.0,
+        )
+        disk = DiskCacheStore(tmp_path / "cache")
+        disk.put("cold", self.PAYLOAD)
+        tiered = TieredCache(disk=disk, breaker=breaker)
+        tiered.put("warm", self.PAYLOAD)
+
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+        assert tiered.get("warm") == self.PAYLOAD  # memory tier still serves
+        assert tiered.get("cold") is None  # disk-only entry: degraded miss
+        tiered.put("new", self.PAYLOAD)
+        assert disk.get("new") is None  # write never reached the disk tier
+        assert tiered.get("new") == self.PAYLOAD
+
+    def test_doctor_quarantines_and_purges(self, tmp_path):
+        store = DiskCacheStore(tmp_path / "cache")
+        store.put("good" * 16, self.PAYLOAD)
+        store.put("bad" * 22, self.PAYLOAD)
+        store._path("bad" * 22).write_text("][", encoding="utf-8")
+
+        report = store.doctor(repair=True)
+        assert report.scanned == 2
+        assert report.healthy == 1
+        assert report.corrupt == 1
+        assert report.quarantined == 1
+        assert report.quarantine_backlog == 1
+
+        purged = store.doctor(repair=True, purge=True)
+        assert purged.purged == 1
+        assert purged.quarantine_backlog == 0

@@ -208,3 +208,87 @@ class TestWorkloadCommand:
         assert {summary["status"] for summary in summaries} == {"ok"}
         assert summaries[0]["name"].startswith("tfim:")
         assert summaries[1]["name"] == "ladder-naive"
+
+
+class TestBatchJournal:
+    def make_manifest(self, program_file, tmp_path):
+        manifest = tmp_path / "jobs.json"
+        program = json.loads(program_file.read_text(encoding="utf-8"))
+        manifest.write_text(
+            json.dumps([
+                {"name": "tiny-phoenix", "program": program},
+                {"name": "tiny-naive", "program": program, "compiler": "naive"},
+            ]),
+            encoding="utf-8",
+        )
+        return manifest
+
+    def test_journal_then_resume_round_trip(self, program_file, tmp_path, capsys):
+        from repro.service.journal import load_journal
+
+        manifest = self.make_manifest(program_file, tmp_path)
+        wal = tmp_path / "run.wal"
+        code = main([
+            "batch", "--manifest", str(manifest), "--workers", "1",
+            "--journal", str(wal),
+        ])
+        assert code == 0
+        entries, stats = load_journal(wal)
+        assert len(entries) == 2
+        assert stats["header"]["format"] == "phoenix-batch-journal-1"
+        capsys.readouterr()
+
+        # A cold-cache rerun with --resume replays from the journal.
+        code = main([
+            "batch", "--manifest", str(manifest), "--workers", "1",
+            "--journal", str(wal), "--resume",
+        ])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert table.count("resume") == 2
+
+    def test_resume_without_journal_is_an_error(self, program_file, tmp_path):
+        manifest = self.make_manifest(program_file, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["batch", "--manifest", str(manifest), "--resume"])
+
+
+class TestCacheDoctor:
+    def test_doctor_reports_and_quarantines(self, program_file, tmp_path, capsys):
+        from repro.service.shardcache import ShardedDiskCacheStore
+
+        cache_dir = tmp_path / "cache"
+        main([
+            "compile", "--input", str(program_file), "--cache-dir", str(cache_dir),
+        ])
+        capsys.readouterr()
+        store = ShardedDiskCacheStore(cache_dir)
+        key = next(iter(store.keys()))
+        store._path(key).write_text("corrupt!", encoding="utf-8")
+
+        assert main(["cache", "doctor", "--cache-dir", str(cache_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "1 corrupt" in report
+        assert "quarantined 1" in report
+
+        assert main([
+            "cache", "doctor", "--cache-dir", str(cache_dir), "--purge",
+        ]) == 0
+        assert "purged 1" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_ci_smoke_survives(self, capsys):
+        code = main([
+            "chaos", "--scenario", "ci-smoke", "--seed", "7", "--limit", "2",
+            "--format", "json",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["survived"] and out["accounted"]
+        assert out["submitted"] == 2
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        code = main(["chaos", "--scenario", "definitely-not-real"])
+        assert code == 2
+        assert "scenario" in capsys.readouterr().err

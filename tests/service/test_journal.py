@@ -1,0 +1,175 @@
+"""Tests for the crash-safe batch journal (WAL) and resume semantics."""
+
+import json
+
+import pytest
+
+from repro.service import faultlab
+from repro.service.cache import MemoryCacheStore
+from repro.service.journal import BatchJournal, load_journal, open_journal
+from repro.service.service import CompilationJob, CompilationService
+
+
+class TestBatchJournal:
+    def test_round_trip_and_header(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with BatchJournal(path) as journal:
+            assert journal.record({"key": "k1", "status": "ok", "result": {"x": 1}})
+            assert journal.record({"key": "k2", "status": "error", "error": "boom"})
+        entries, stats = load_journal(path)
+        assert set(entries) == {"k1", "k2"}
+        assert entries["k1"]["result"] == {"x": 1}
+        assert entries["k2"]["status"] == "error"
+        assert stats["header"]["format"] == "phoenix-batch-journal-1"
+        assert stats["malformed"] == 0
+
+    def test_last_record_per_key_wins(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with BatchJournal(path) as journal:
+            journal.record({"key": "k", "status": "error", "error": "first try"})
+            journal.record({"key": "k", "status": "ok", "result": {"x": 2}})
+        entries, _ = load_journal(path)
+        assert entries["k"]["status"] == "ok"
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with BatchJournal(path) as journal:
+            journal.record({"key": "done", "status": "ok", "result": {}})
+        # Simulate a crash mid-append: a partial JSON line at EOF.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "half-written", "stat')
+        entries, stats = load_journal(path)
+        assert set(entries) == {"done"}  # the torn line is just "not terminal"
+        assert stats["malformed"] == 1
+
+    def test_non_terminal_and_keyless_records_are_skipped(self, tmp_path):
+        path = tmp_path / "run.wal"
+        lines = [
+            {"format": "phoenix-batch-journal-1", "version": 1},
+            {"key": "k1", "status": "running"},
+            {"status": "ok"},
+            {"key": "k2", "status": "ok"},
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines), encoding="utf-8"
+        )
+        entries, stats = load_journal(path)
+        assert set(entries) == {"k2"}
+        assert stats["malformed"] == 2
+
+    def test_append_degrades_instead_of_raising(self, tmp_path, clean_metrics):
+        journal = BatchJournal(tmp_path / "run.wal")
+        assert not journal.record({"status": "ok"})  # no key
+        faultlab.inject("journal.record", "disk-full", p=1.0)
+        assert not journal.record({"key": "k", "status": "ok"})
+        journal.close()
+        assert journal.append_errors == 2
+        snapshot = clean_metrics.snapshot()
+        assert snapshot["repro_journal_errors_total"][""] == 2
+        entries, _ = load_journal(tmp_path / "run.wal")
+        assert entries == {}
+
+    def test_reopening_appends_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with BatchJournal(path) as journal:
+            journal.record({"key": "k1", "status": "ok"})
+        with BatchJournal(path) as journal:
+            journal.record({"key": "k2", "status": "ok"})
+        entries, stats = load_journal(path)
+        assert set(entries) == {"k1", "k2"}
+        assert stats["header"] is not None  # written once, not twice
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            BatchJournal(tmp_path / "run.wal", fsync="sometimes")
+        for policy in ("line", "close", "off"):
+            BatchJournal(tmp_path / f"{policy}.wal", fsync=policy).close()
+
+    def test_open_journal_passthrough_and_ownership(self, tmp_path):
+        assert open_journal(None) == (None, False)
+        owned, owns = open_journal(tmp_path / "a.wal")
+        assert owns and isinstance(owned, BatchJournal)
+        owned.close()
+        reused, owns = open_journal(owned)
+        assert reused is owned and not owns
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        entries, stats = load_journal(tmp_path / "never-written.wal")
+        assert entries == {} and stats["lines"] == 0
+
+
+class TestServiceResume:
+    def make_jobs(self, tiny_program, small_program):
+        return [
+            CompilationJob("tiny", tiny_program),
+            CompilationJob("small", small_program),
+        ]
+
+    def test_resume_replays_terminal_jobs(self, tmp_path, tiny_program, small_program):
+        path = tmp_path / "batch.wal"
+        jobs = self.make_jobs(tiny_program, small_program)
+        first = CompilationService().compile_many(jobs, workers=1, journal=str(path))
+        assert all(job_result.ok for job_result in first)
+
+        # A fresh service (cold cache) resumes from the journal alone.
+        attempts = []
+        service = CompilationService(cache=MemoryCacheStore())
+        resumed = service.compile_many(
+            jobs, workers=1, journal=str(path), resume=True,
+            progress=lambda event: attempts.append(event.outcome),
+        )
+        assert [job_result.resumed for job_result in resumed] == [True, True]
+        assert attempts == ["resume", "resume"]
+        for before, after in zip(first, resumed):
+            assert after.ok
+            assert after.result.metrics.as_dict() == before.result.metrics.as_dict()
+
+    def test_resume_recompiles_only_missing_jobs(
+        self, tmp_path, tiny_program, small_program
+    ):
+        path = tmp_path / "batch.wal"
+        jobs = self.make_jobs(tiny_program, small_program)
+        service = CompilationService()
+        service.compile_many(jobs[:1], workers=1, journal=str(path))
+
+        outcomes = []
+        fresh = CompilationService(cache=MemoryCacheStore())
+        results = fresh.compile_many(
+            jobs, workers=1, journal=str(path), resume=True,
+            progress=lambda event: outcomes.append((event.name, event.outcome)),
+        )
+        assert results[0].resumed and not results[1].resumed
+        assert ("tiny", "resume") in outcomes
+        assert ("small", "miss") in outcomes
+        # The second run journalled the recompiled job: resuming again is
+        # now a full replay.
+        entries, _ = load_journal(path)
+        assert len(entries) == 2
+
+    def test_without_resume_flag_journal_only_records(
+        self, tmp_path, tiny_program, small_program
+    ):
+        path = tmp_path / "batch.wal"
+        jobs = self.make_jobs(tiny_program, small_program)
+        CompilationService().compile_many(jobs, workers=1, journal=str(path))
+        again = CompilationService(cache=MemoryCacheStore()).compile_many(
+            jobs, workers=1, journal=str(path)
+        )
+        assert all(not job_result.resumed for job_result in again)
+
+    def test_resumed_jobs_reseed_the_cache_for_duplicates(
+        self, tmp_path, tiny_program
+    ):
+        path = tmp_path / "batch.wal"
+        CompilationService().compile_many(
+            [CompilationJob("one", tiny_program)], workers=1, journal=str(path)
+        )
+        twins = [
+            CompilationJob("one", tiny_program),
+            CompilationJob("one-again", tiny_program),
+        ]
+        results = CompilationService(cache=MemoryCacheStore()).compile_many(
+            twins, workers=1, journal=str(path), resume=True
+        )
+        assert results[0].resumed
+        assert results[1].cached  # served by the journal-seeded cache

@@ -316,3 +316,42 @@ class TestConcurrentWriters:
         # And a third, in-process compile is a pure cache hit.
         assert compile_workload_against_cache(str(root), spec) == entries[0]
         assert len(list(store.keys())) == 1
+
+
+class TestQuarantine:
+    """A hand-corrupted entry file must degrade to a miss, not an error."""
+
+    def test_corrupt_entry_is_a_miss_and_moves_to_the_sidecar(
+        self, tmp_path, clean_metrics
+    ):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        store.put(KEY, {"value": 1})
+        store._path(KEY).write_text('{"value": 1,, TRUNCATED', encoding="utf-8")
+
+        assert store.get(KEY) is None  # a miss, never an exception
+        assert not store._path(KEY).exists()
+        assert (store.quarantine_dir / f"{KEY}.json").exists()
+        assert store.stats.quarantined == 1
+        assert KEY not in list(store.keys())
+        snapshot = clean_metrics.snapshot()
+        assert snapshot["repro_cache_quarantined_total"][""] == 1
+
+    def test_quarantined_key_can_be_rewritten_and_served_again(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        store.put(KEY, {"value": 1})
+        store._path(KEY).write_text("not json at all", encoding="utf-8")
+        assert store.get(KEY) is None
+        store.put(KEY, {"value": 2})
+        assert store.get(KEY) == {"value": 2}
+        # The stale quarantined copy stays in the sidecar for `cache doctor`.
+        assert (store.quarantine_dir / f"{KEY}.json").exists()
+
+    def test_sidecar_is_invisible_to_iteration_len_and_clear(self, tmp_path):
+        store = ShardedDiskCacheStore(tmp_path / "cache")
+        store.put(KEY, {"value": 1})
+        store._path(KEY).write_text("garbage", encoding="utf-8")
+        store.get(KEY)
+        assert len(store) == 0
+        assert list(store.keys()) == []
+        assert store.clear() == 0
+        assert (store.quarantine_dir / f"{KEY}.json").exists()
