@@ -1,0 +1,572 @@
+"""The resident compilation server behind ``phoenix serve``.
+
+One long-lived :class:`~repro.service.service.CompilationService` with a
+persistent warm process pool, fronted by an asyncio HTTP/WebSocket
+surface:
+
+========  ========================  =======================================
+method    path                      purpose
+========  ========================  =======================================
+POST      ``/v1/jobs``              submit a batch (429 + Retry-After full)
+GET       ``/v1/jobs/{id}``         job state, results once terminal
+GET (WS)  ``/v1/jobs/{id}/events``  stream ProgressEvents, history first
+GET       ``/healthz``              liveness + drain state
+GET       ``/metrics``              Prometheus text exposition
+GET       ``/v1/stats``             queue/cache/executor/task snapshot
+========  ========================  =======================================
+
+Compilation itself stays the blocking, battle-tested
+``CompilationService.compile_many`` — the server runs it on a worker
+thread via ``asyncio.to_thread`` and bridges its progress callback back
+into the loop with ``call_soon_threadsafe``.  Exactly one compile worker
+task consumes the queue (batches are sequential per service by design;
+parallelism lives *inside* a batch, in the warm process pool).
+
+Shutdown is the same two-signal contract as the batch CLI
+(:class:`~repro.service.resilience.shutdown_guard`): the first
+SIGINT/SIGTERM drains — new submissions get 503, queued-but-unstarted
+jobs are written to a pending manifest for resubmission, the in-flight
+batch finishes its started programs (journaling each terminal outcome)
+and skips the rest — and the process exits 0.  A second signal aborts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..service.cache import CacheStore, open_cache
+from ..service.cli import jobs_from_entries
+from ..service.journal import BatchJournal
+from ..service.resilience import RetryPolicy, shutdown_guard
+from ..service.service import CompilationService, ProgressEvent, job_summary
+from . import ws
+from .http import Request, Response, Router, read_request
+from .queue import Job, JobQueue, QueueFull
+from .supervisor import Supervisor
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ServeConfig", "ServeApp", "run_serve"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``phoenix serve`` needs to build the resident service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077  # 0 = ephemeral (tests read the bound port back)
+    queue_size: int = 64
+    workers: Optional[int] = None  # process-pool width per batch
+    executor: str = "auto"
+    timeout: Optional[float] = None  # per-program compile budget, seconds
+    retries: int = 1
+    retry_errors: bool = False
+    cache_dir: Optional[str] = None
+    journal: Optional[str] = None  # WAL path; also anchors the pending manifest
+    resume: bool = False  # replay terminal outcomes already in the journal
+    history: int = 256  # finished jobs kept for GET /v1/jobs/<id>
+
+    def pending_manifest_path(self) -> Optional[Path]:
+        if self.journal is None:
+            return None
+        journal = Path(self.journal)
+        return journal.with_name(journal.name + ".pending.json")
+
+
+class ServeApp:
+    """The server: owns the service, the queue, and the asyncio surface."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        service: Optional[CompilationService] = None,
+        drain_token: Optional[threading.Event] = None,
+    ) -> None:
+        self.config = config
+        self.service = service if service is not None else self._build_service(config)
+        self.queue = JobQueue(capacity=config.queue_size, history=config.history)
+        self.supervisor = Supervisor()
+        self.draining = False
+        #: Set by the signal handler (or tests); observed by the watcher
+        #: task *and* passed to ``compile_many`` as its cancel token, so
+        #: one event drains both the queue and the in-flight batch.
+        self.drain_token = drain_token if drain_token is not None else threading.Event()
+        #: Cross-thread readiness: set once the listening socket is bound
+        #: (``bound_port`` is valid after this), for in-thread test servers.
+        self.ready = threading.Event()
+        self.bound_port: Optional[int] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._journal: Optional[BatchJournal] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._drain_task: Optional["asyncio.Task[None]"] = None
+        self._started_at = time.monotonic()
+        self._router = self._build_router()
+
+    @staticmethod
+    def _build_service(config: ServeConfig) -> CompilationService:
+        retry_policy = None
+        if config.retry_errors:
+            # The resident server retries transient *errors* too (a flaky
+            # worker should not fail a remote client's job), not just the
+            # timeouts/crashes the batch CLI retries by default.
+            retry_policy = RetryPolicy(
+                max_retries=config.retries, retry_errors=True, base_delay=0.05
+            )
+        cache: CacheStore = open_cache(config.cache_dir)
+        return CompilationService(
+            cache=cache,
+            executor=config.executor,
+            max_workers=config.workers,
+            timeout=config.timeout,
+            retries=config.retries,
+            retry_policy=retry_policy,
+            keep_alive=True,
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, open the journal, spawn supervised tasks."""
+        self._stopped = asyncio.Event()
+        #: The loop the server runs on — lets other threads hand work in
+        #: via ``call_soon_threadsafe`` (tests, embedding).
+        self.loop = asyncio.get_running_loop()
+        if self.config.journal is not None:
+            self._journal = BatchJournal(self.config.journal)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self.supervisor.spawn("compile-worker", self._compile_worker)
+        self.supervisor.spawn("signal-watcher", self._watch_drain_token)
+        logger.info(
+            "phoenix serve listening on %s:%d (queue capacity %d, executor %s)",
+            self.config.host,
+            self.bound_port,
+            self.config.queue_size,
+            self.config.executor,
+        )
+        self.ready.set()
+
+    async def main(self) -> None:
+        """Run until drained (signal) or :meth:`stop` — the CLI entry."""
+        await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Immediate teardown (tests); :meth:`drain` is the graceful path."""
+        await self.supervisor.shutdown()
+        await self._close_resources()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: park queued jobs, finish the in-flight batch."""
+        if self.draining:
+            return
+        self.draining = True
+        self.drain_token.set()  # idempotent; also reaches compile_many
+        parked = self.queue.drain_pending()
+        self._write_pending_manifest(parked)
+        for job in parked:
+            job.publish({"type": "done", "state": "cancelled", "reason": "server drain"})
+            job.finish("cancelled", "server draining; job never started")
+            self.queue.mark_finished(job)
+        self.queue.push_sentinel()
+        logger.info(
+            "draining: %d queued job(s) parked, waiting for the in-flight batch",
+            len(parked),
+        )
+        await self.supervisor.wait(["compile-worker"])
+        await self.supervisor.shutdown()
+        await self._close_resources()
+        logger.info("drain complete")
+
+    async def _close_resources(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        await asyncio.to_thread(self.service.close)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def _write_pending_manifest(self, parked: List[Job]) -> None:
+        """Save never-started submissions so a later run can resubmit them.
+
+        The manifest is a plain batch manifest (a JSON list of job
+        entries) — ``phoenix batch --manifest <file>`` or a fresh POST
+        replays it verbatim.
+        """
+        path = self.config.pending_manifest_path()
+        if path is None or not parked:
+            return
+        entries = [entry for job in parked for entry in job.entries]
+        path.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+        logger.info(
+            "wrote %d pending job entr%s to %s",
+            len(entries),
+            "y" if len(entries) == 1 else "ies",
+            path,
+        )
+
+    async def _watch_drain_token(self) -> None:
+        """Poll the cross-thread drain event from inside the loop."""
+        while not self.drain_token.is_set():
+            await asyncio.sleep(0.05)
+        # Hand off to an *unsupervised* task: drain() tears the supervisor
+        # down, and a task cannot cancel the tree it is running under.
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self.drain(), name="drain"
+        )
+
+    # -- compile worker ------------------------------------------------
+
+    async def _compile_worker(self) -> None:
+        while True:
+            job = await self.queue.next_job()
+            if job is None:
+                return
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+
+        def progress(event: ProgressEvent) -> None:
+            # Called on the compile thread; hop into the loop to publish.
+            payload = {"type": "progress", **asdict(event)}
+            loop.call_soon_threadsafe(job.publish, payload)
+
+        try:
+            results = await asyncio.to_thread(
+                self.service.compile_many,
+                job.jobs,
+                progress=progress,
+                journal=self._journal,
+                resume=self.config.resume,
+                cancel=self.drain_token,
+            )
+        except Exception as exc:  # batch-level failure, not a per-job error
+            logger.exception("job %s failed at the batch level", job.id)
+            job.publish({"type": "done", "state": "error", "error": str(exc)})
+            job.finish("error", f"{type(exc).__name__}: {exc}")
+        else:
+            job.results = [job_summary(result, include_result=True) for result in results]
+            counts = {
+                "ok": sum(1 for result in results if result.ok),
+                "error": sum(
+                    1 for result in results if not result.ok and not result.cancelled
+                ),
+                "cancelled": sum(1 for result in results if result.cancelled),
+            }
+            state = "cancelled" if counts["cancelled"] else "done"
+            job.publish({"type": "done", "state": state, **counts})
+            job.finish(state)
+        finally:
+            obs_metrics.histogram("repro_serve_job_seconds").observe(
+                time.perf_counter() - started
+            )
+            self.queue.mark_finished(job)
+
+    # -- HTTP surface --------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/healthz", self._route_healthz)
+        router.add("GET", "/metrics", self._route_metrics)
+        router.add("GET", "/v1/stats", self._route_stats)
+        router.add("POST", "/v1/jobs", self._route_submit)
+        router.add("GET", "/v1/jobs/{id}", self._route_job)
+        # The events route is WS-only; plain GETs get told to upgrade.
+        router.add("GET", "/v1/jobs/{id}/events", self._route_events_http)
+        return router
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except (ValueError, asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+                    writer.write(Response.error(400, str(exc)).encode(keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                if request.wants_websocket:
+                    await self._handle_websocket(request, reader, writer)
+                    return  # the upgrade consumes the connection
+                response = await self._dispatch(request)
+                writer.write(response.encode(keep_alive=request.keep_alive))
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: Request) -> Response:
+        handler, route, params, path_known = self._router.match(
+            request.method, request.path
+        )
+        if handler is None:
+            status = 405 if path_known else 404
+            response = Response.error(
+                status, f"{'method not allowed' if path_known else 'no such route'}: "
+                f"{request.method} {request.path}"
+            )
+            self._count_request(request.method, request.path, response.status)
+            return response
+        request.params = params
+        started = time.perf_counter()
+        with obs_trace.span("serve.request", method=request.method, route=route) as span:
+            try:
+                response = await handler(request)
+            except Exception as exc:
+                logger.exception("handler for %s %s crashed", request.method, route)
+                response = Response.error(500, f"{type(exc).__name__}: {exc}")
+            span.update(status=response.status)
+        obs_metrics.histogram("repro_serve_request_seconds").observe(
+            time.perf_counter() - started
+        )
+        self._count_request(request.method, route or request.path, response.status)
+        return response
+
+    @staticmethod
+    def _count_request(method: str, route: str, status: int) -> None:
+        obs_metrics.counter(
+            "repro_serve_requests_total", method=method, route=route, status=status
+        ).inc()
+
+    # -- route handlers ------------------------------------------------
+
+    async def _route_healthz(self, request: Request) -> Response:
+        status = "draining" if self.draining else "ok"
+        return Response.json(
+            {
+                "status": status,
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            },
+            status=503 if self.draining else 200,
+        )
+
+    async def _route_metrics(self, request: Request) -> Response:
+        return Response.text(obs_metrics.REGISTRY.render_prometheus())
+
+    async def _route_stats(self, request: Request) -> Response:
+        cache_usage: Dict[str, Any] = {}
+        usage = getattr(self.service.cache, "usage", None)
+        if callable(usage):
+            cache_usage = usage()
+        return Response.json(
+            {
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "draining": self.draining,
+                "queue": self.queue.stats(),
+                "cache": cache_usage,
+                "executor": self.service.executor_stats(),
+                "tasks": self.supervisor.stats(),
+            }
+        )
+
+    async def _route_submit(self, request: Request) -> Response:
+        if self.draining:
+            return Response.error(503, "server is draining; resubmit elsewhere/later")
+        try:
+            payload = request.json()
+        except ValueError as exc:
+            return Response.error(400, f"bad JSON body: {exc}")
+        try:
+            name, entries = self._parse_submission(payload)
+            jobs = jobs_from_entries(entries)
+        except ValueError as exc:
+            return Response.error(400, str(exc))
+        job = self.queue.new_job(name=name, entries=entries, jobs=jobs)
+        try:
+            self.queue.submit(job)
+        except QueueFull as exc:
+            return Response.error(
+                429,
+                f"job queue full (depth {exc.depth}); retry after {exc.retry_after}s",
+                headers={"Retry-After": str(exc.retry_after)},
+            )
+        return Response.json(
+            {
+                "id": job.id,
+                "name": job.name,
+                "state": job.state,
+                "programs": len(job.jobs),
+                "queue_depth": self.queue.depth(),
+            },
+            status=202,
+        )
+
+    @staticmethod
+    def _parse_submission(payload: Any) -> "tuple[str, List[Dict[str, Any]]]":
+        """Accept a batch object, a bare entry list, or a single entry."""
+        name = "batch"
+        if isinstance(payload, dict) and "jobs" in payload:
+            name = str(payload.get("name", name))
+            entries = payload["jobs"]
+            defaults = payload.get("options", {})
+            if not isinstance(entries, list):
+                raise ValueError("'jobs' must be a list of job entries")
+            if defaults:
+                if not isinstance(defaults, dict):
+                    raise ValueError("'options' must be an object of option defaults")
+                entries = [
+                    {**defaults, **entry} if isinstance(entry, dict) else entry
+                    for entry in entries
+                ]
+        elif isinstance(payload, list):
+            entries = payload
+        elif isinstance(payload, dict):
+            entries = [payload]
+            name = str(payload.get("name", name))
+        else:
+            raise ValueError("body must be a job entry, a list, or {'jobs': [...]}")
+        if not entries:
+            raise ValueError("submission contains no job entries")
+        return name, entries
+
+    async def _route_job(self, request: Request) -> Response:
+        job = self.queue.get(request.params["id"])
+        if job is None:
+            return Response.error(404, f"no such job: {request.params['id']}")
+        return Response.json(job.summary())
+
+    async def _route_events_http(self, request: Request) -> Response:
+        return Response.error(
+            426, "this endpoint streams over WebSocket; send an Upgrade request",
+            headers={"Upgrade": "websocket"},
+        )
+
+    # -- WebSocket streaming -------------------------------------------
+
+    async def _handle_websocket(
+        self, request: Request, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        handler, route, params, _known = self._router.match("GET", request.path)
+        if handler != self._route_events_http:
+            writer.write(Response.error(404, f"no WS route at {request.path}").encode(False))
+            await writer.drain()
+            return
+        job = self.queue.get(params["id"])
+        if job is None:
+            self._count_request("WS", route or request.path, 404)
+            writer.write(
+                Response.error(404, f"no such job: {params['id']}").encode(False)
+            )
+            await writer.drain()
+            return
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            writer.write(
+                Response.error(400, "missing Sec-WebSocket-Key").encode(False)
+            )
+            await writer.drain()
+            return
+        writer.write(
+            Response(
+                status=101,
+                headers={
+                    "Upgrade": "websocket",
+                    "Connection": "Upgrade",
+                    "Sec-WebSocket-Accept": ws.accept_key(key),
+                },
+            ).encode()
+        )
+        await writer.drain()
+        self._count_request("WS", route or request.path, 101)
+        obs_metrics.gauge("repro_serve_ws_connections").inc()
+        events = job.subscribe()
+        try:
+            await self._stream_events(job, events, reader, writer)
+        except (ConnectionError, ws.WebSocketError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to salvage
+        finally:
+            job.unsubscribe(events)
+            obs_metrics.gauge("repro_serve_ws_connections").dec()
+
+    async def _stream_events(
+        self,
+        job: Job,
+        events: "asyncio.Queue[Optional[Dict[str, Any]]]",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Write history + live events; answer pings; stop on close."""
+        incoming = asyncio.ensure_future(ws.decode_frame_async(reader.readexactly))
+        outgoing = asyncio.ensure_future(events.get())
+        try:
+            while True:
+                done, _pending = await asyncio.wait(
+                    {incoming, outgoing}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if incoming in done:
+                    opcode, payload = incoming.result()
+                    if opcode == ws.OP_CLOSE:
+                        writer.write(ws.encode_frame(payload, ws.OP_CLOSE))
+                        await writer.drain()
+                        return
+                    if opcode == ws.OP_PING:
+                        writer.write(ws.encode_frame(payload, ws.OP_PONG))
+                        await writer.drain()
+                    incoming = asyncio.ensure_future(
+                        ws.decode_frame_async(reader.readexactly)
+                    )
+                if outgoing in done:
+                    event = outgoing.result()
+                    if event is None:
+                        # Terminal sentinel: say goodbye properly.
+                        writer.write(ws.encode_frame(b"", ws.OP_CLOSE))
+                        await writer.drain()
+                        return
+                    writer.write(
+                        ws.encode_frame(json.dumps(event, sort_keys=True).encode("utf-8"))
+                    )
+                    await writer.drain()
+                    outgoing = asyncio.ensure_future(events.get())
+        finally:
+            for task in (incoming, outgoing):
+                if not task.done():
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+
+
+def run_serve(config: ServeConfig) -> int:
+    """Blocking entry point used by ``phoenix serve``.
+
+    Installs the two-signal drain contract around the event loop: first
+    SIGINT/SIGTERM drains and exits 0, the second aborts (exit 130).
+    """
+    token = threading.Event()
+    app = ServeApp(config, drain_token=token)
+    with shutdown_guard(token):
+        try:
+            asyncio.run(app.main())
+        except KeyboardInterrupt:
+            logger.warning("aborted before drain completed")
+            return 130
+    return 0

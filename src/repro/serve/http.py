@@ -1,0 +1,222 @@
+"""A small HTTP/1.1 layer on asyncio streams for ``phoenix serve``.
+
+Stdlib-only by design (the repo ships no runtime dependencies beyond the
+scientific stack): request parsing, a segment-pattern router, and
+response building.  It deliberately implements only what the server's
+surface needs — ``Content-Length`` bodies (no chunked uploads),
+keep-alive connection reuse, and the ``Upgrade: websocket`` detection
+that hands a connection over to :mod:`repro.serve.ws`.
+
+Handlers are ``async (Request) -> Response``; :class:`Response` carries
+status + body + headers, with :meth:`Response.json` as the JSON shortcut
+every ops endpoint uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "REASONS",
+    "Request",
+    "Response",
+    "Router",
+    "read_request",
+]
+
+#: Largest request body accepted (a serialized batch of programs is a few
+#: MB at most; anything bigger is a mistake, answered with 413).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the statuses this server actually emits.
+REASONS = {
+    101: "Switching Protocols",
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (headers lower-cased, body fully read)."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: Path-pattern captures, filled in by the router on match.
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        """Decode the body as JSON; raises ``ValueError`` on bad input."""
+        if not self.body:
+            raise ValueError("request body is empty, expected JSON")
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade" in self.headers.get("connection", "").lower()
+        )
+
+    @property
+    def keep_alive(self) -> bool:
+        return "close" not in self.headers.get("connection", "").lower()
+
+
+@dataclass
+class Response:
+    """Status + body + headers; rendered to wire bytes by :meth:`encode`."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls, payload: Any, status: int = 200, headers: Optional[Dict[str, str]] = None
+    ) -> "Response":
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200) -> "Response":
+        return cls(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+        )
+
+    @classmethod
+    def error(
+        cls, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> "Response":
+        return cls.json({"error": message, "status": status}, status, headers)
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("Content-Type", self.content_type)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers.setdefault("Connection", "keep-alive" if keep_alive else "close")
+        lines += [f"{name}: {value}" for name, value in headers.items()]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises ``ValueError`` for malformed requests (the connection handler
+    answers 400 and closes) and ``asyncio.LimitOverrunError`` /
+    ``ValueError`` for oversized header blocks.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise ValueError("connection closed mid-request") from None
+    request_line, _, header_block = head.decode("latin-1").partition("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ValueError(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ValueError("chunked request bodies are not supported")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body:
+        raise ValueError(f"request body of {length} bytes exceeds {max_body}")
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Method + segment-pattern routing: ``/v1/jobs/{id}/events``.
+
+    ``{name}`` segments capture into ``request.params``.  ``match``
+    returns the handler and its route label (the pattern itself, used as
+    the low-cardinality ``route`` metrics label instead of raw paths).
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append((method.upper(), tuple(pattern.strip("/").split("/")), handler))
+
+    def match(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Handler], Optional[str], Dict[str, str], bool]:
+        """``(handler, route_label, params, path_known)``.
+
+        ``path_known`` distinguishes 405 (path exists, method does not)
+        from 404.
+        """
+        segments = tuple(path.strip("/").split("/"))
+        path_known = False
+        for route_method, pattern, handler in self._routes:
+            params = self._bind(pattern, segments)
+            if params is None:
+                continue
+            path_known = True
+            if route_method == method.upper():
+                return handler, "/" + "/".join(pattern), params, True
+        return None, None, {}, path_known
+
+    @staticmethod
+    def _bind(
+        pattern: Tuple[str, ...], segments: Tuple[str, ...]
+    ) -> Optional[Dict[str, str]]:
+        if len(pattern) != len(segments):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(pattern, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                if not actual:
+                    return None
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params

@@ -1,0 +1,151 @@
+"""End-to-end smoke check against a live ``phoenix serve`` (CI's serve-smoke).
+
+Run a server somewhere (usually ``phoenix serve --port N`` in the
+background), then::
+
+    python -m repro.serve.smoke --port N [--limit 16]
+
+The script:
+
+1. waits for ``/healthz``;
+2. submits a pinned-suite subset over HTTP and follows the WebSocket
+   event stream until the terminal ``done`` event;
+3. compiles the same jobs locally and asserts the server's results are
+   **byte-identical** (canonical JSON, timings excluded);
+4. submits a second, distinct batch and asserts the warm pool was
+   reused, not re-forked (``repro_executor_pool_forks_total`` unchanged
+   while ``repro_executor_pool_reuses_total`` grows) — the whole point
+   of a resident server;
+5. scrapes ``/metrics`` for the serve request/queue series.
+
+Exit code 0 means all assertions held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..bench import PINNED_SUITE, bench_jobs, result_content_bytes
+from ..serialize.jsonutil import canonical_json_bytes
+from ..service.service import CompilationService
+from .client import ServeClient
+
+
+def suite_entries(limit: int) -> List[Dict[str, Any]]:
+    """Pinned-suite rows as POST /v1/jobs entries."""
+    return [
+        {"name": name, "workload": spec, **overrides}
+        for name, spec, overrides in PINNED_SUITE[:limit]
+    ]
+
+
+def served_content_bytes(summary: Dict[str, Any]) -> bytes:
+    """Canonical bytes of one served result, mirroring the bench helper."""
+    payload = dict(summary["result"])
+    payload.pop("stage_timings", None)
+    payload["cache_key"] = summary["key"]
+    return canonical_json_bytes(payload)
+
+
+def scrape_counter(metrics_text: str, name: str) -> float:
+    """Sum every series of a counter in Prometheus text exposition."""
+    total = 0.0
+    for line in metrics_text.splitlines():
+        if line.startswith("#"):
+            continue
+        if line.startswith(name) and line[len(name)] in ("{", " "):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def run_smoke(host: str, port: int, limit: int, timeout: float) -> int:
+    client = ServeClient(host, port, timeout=timeout)
+    health = client.wait_ready(timeout=timeout)
+    print(f"server ready: {health}")
+
+    entries = suite_entries(limit)
+    submitted = client.submit(entries, name="serve-smoke")
+    job_id = submitted["id"]
+    print(f"submitted {submitted['programs']} programs as job {job_id}")
+
+    events = list(client.events(job_id, timeout=timeout))
+    progress = [event for event in events if event.get("type") == "progress"]
+    done = [event for event in events if event.get("type") == "done"]
+    assert len(progress) == len(entries), (
+        f"expected {len(entries)} progress events, saw {len(progress)}"
+    )
+    assert done and done[-1]["state"] == "done", f"terminal event missing: {events[-1:]}"
+    print(f"streamed {len(progress)} progress events, terminal state 'done'")
+
+    summary = client.wait(job_id, timeout=timeout)
+    results = summary["results"]
+    failed = [result["name"] for result in results if result["status"] != "ok"]
+    assert not failed, f"server-side failures: {failed}"
+
+    local = CompilationService().compile_many(
+        bench_jobs(PINNED_SUITE[:limit]), workers=1
+    )
+    mismatched = []
+    for local_result, served in zip(local, results):
+        assert local_result.name == served["name"]
+        if result_content_bytes(local_result) != served_content_bytes(served):
+            mismatched.append(served["name"])
+    assert not mismatched, f"served results diverge from local compile: {mismatched}"
+    print(f"all {len(results)} served results byte-identical to local compile")
+
+    before = client.metrics()
+    forks_before = scrape_counter(before, "repro_executor_pool_forks_total")
+
+    # A *distinct* second batch (different seeds → cache misses) must hit
+    # the already-warm pool: zero new forks, at least one recorded reuse.
+    second_entries = [
+        {"name": f"warm-{index}", "workload": f"kpauli:n=10,num_terms=40,k=3,seed={90 + index}"}
+        for index in range(4)
+    ]
+    second = client.submit(second_entries, name="serve-smoke-warm")
+    second_summary = client.wait(second["id"], timeout=timeout)
+    assert second_summary["state"] == "done", second_summary
+
+    after = client.metrics()
+    forks_after = scrape_counter(after, "repro_executor_pool_forks_total")
+    reuses_after = scrape_counter(after, "repro_executor_pool_reuses_total")
+    if forks_before > 0:
+        assert forks_after == forks_before, (
+            f"second batch re-forked the pool ({forks_before} -> {forks_after})"
+        )
+        assert reuses_after >= 1, "warm pool was never reused"
+        print(
+            f"warm pool held: forks {forks_after:g} (unchanged), "
+            f"reuses {reuses_after:g}"
+        )
+    else:
+        # Small batches can legally resolve serial; the warm-pool claim is
+        # vacuous then, but the serve surface itself still got exercised.
+        print("executor resolved serial for these batches; warm-pool check skipped")
+
+    for series in ("repro_serve_requests_total", "repro_serve_jobs_submitted_total"):
+        assert series in after, f"metrics endpoint missing {series}"
+    stats = client.stats()
+    print(
+        f"stats: queue={stats['queue']['depth']} "
+        f"executor={stats['executor']} jobs/s={stats['queue']['jobs_per_second']}"
+    )
+    print("serve smoke OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--limit", type=int, default=16,
+                        help="pinned-suite prefix to submit (default: all 16)")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+    return run_smoke(args.host, args.port, args.limit, args.timeout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Minimal RFC 6455 WebSocket support over raw byte streams.
+
+Just enough of the protocol for ``phoenix serve``'s one streaming surface
+(``WS /v1/jobs/<id>/events``) without any runtime dependency: the
+handshake accept key, frame encode/decode, and ping/pong/close handling.
+The encode/decode core is transport-agnostic — it works on a synchronous
+``read_exact(n) -> bytes`` callable — so the asyncio server
+(:mod:`repro.serve.http`) and the blocking client
+(:mod:`repro.serve.client`) share one framing implementation.
+
+Scope decisions (documented, not accidental): text and close/ping/pong
+frames only, no continuation-frame reassembly (every message the server
+sends fits one frame; ``MAX_FRAME`` bounds what it will accept), client
+frames are masked as the RFC requires, server frames are not.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Awaitable, Callable, Tuple
+
+__all__ = [
+    "GUID",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "MAX_FRAME",
+    "WebSocketError",
+    "accept_key",
+    "encode_frame",
+    "decode_frame",
+    "decode_frame_async",
+]
+
+#: The protocol-mandated handshake GUID (RFC 6455 §1.3).
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Upper bound on accepted frame payloads; event lines are tiny, so a
+#: larger frame is a broken or hostile peer, not a use case.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class WebSocketError(Exception):
+    """Malformed frame, oversized payload, or a broken handshake."""
+
+
+def accept_key(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key.strip() + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(
+    payload: bytes, opcode: int = OP_TEXT, mask: bool = False, fin: bool = True
+) -> bytes:
+    """One complete frame. ``mask=True`` is the client side of the wire."""
+    header = bytearray()
+    header.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if not mask:
+        return bytes(header) + payload
+    key = os.urandom(4)
+    header += key
+    masked = bytes(byte ^ key[index % 4] for index, byte in enumerate(payload))
+    return bytes(header) + masked
+
+
+async def decode_frame_async(read_exact: Callable[[int], "Awaitable[bytes]"]) -> Tuple[int, bytes]:
+    """Async twin of :func:`decode_frame` for asyncio stream readers.
+
+    ``read_exact`` is typically ``StreamReader.readexactly``; the frame
+    grammar is identical to the sync path.
+    """
+    first, second = await read_exact(2)
+    if first & 0x70:
+        raise WebSocketError("reserved frame bits set (no extension negotiated)")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack("!H", await read_exact(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", await read_exact(8))
+    if length > MAX_FRAME:
+        raise WebSocketError(f"frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    key = await read_exact(4) if masked else b""
+    payload = await read_exact(length) if length else b""
+    if masked:
+        payload = bytes(byte ^ key[index % 4] for index, byte in enumerate(payload))
+    return opcode, payload
+
+
+def decode_frame(read_exact: Callable[[int], bytes]) -> Tuple[int, bytes]:
+    """Read one frame via ``read_exact``; returns ``(opcode, payload)``.
+
+    Unmasks masked payloads transparently.  Raises :class:`WebSocketError`
+    on reserved bits, oversized frames, or a short read (connection torn
+    mid-frame surfaces as whatever ``read_exact`` raises).
+    """
+    first, second = read_exact(2)
+    if first & 0x70:
+        raise WebSocketError("reserved frame bits set (no extension negotiated)")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack("!H", read_exact(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", read_exact(8))
+    if length > MAX_FRAME:
+        raise WebSocketError(f"frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    key = read_exact(4) if masked else b""
+    payload = read_exact(length) if length else b""
+    if masked:
+        payload = bytes(byte ^ key[index % 4] for index, byte in enumerate(payload))
+    return opcode, payload

@@ -159,6 +159,14 @@ class MemoryCacheStore:
         with self._lock:
             return key in self._entries
 
+    def usage(self) -> Dict[str, Any]:
+        """Entry accounting plus live hit/miss counters (ops surfaces)."""
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "session": self.stats.as_dict(),
+        }
+
 
 @dataclass(frozen=True)
 class DoctorReport:
@@ -321,6 +329,25 @@ class DiskCacheStore:
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
+
+    def usage(self) -> Dict[str, Any]:
+        """Entry/byte accounting (the sharded subclass reports more)."""
+        entries = 0
+        total_bytes = 0
+        for path in self.root.glob("*/*.json"):
+            if not self._is_live(path):
+                continue
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "session": self.stats.as_dict(),
+        }
 
     # -- doctor ----------------------------------------------------------
     def _validate_file(self, path: Path) -> bool:
@@ -485,6 +512,38 @@ class TieredCache:
         if key in self.memory:
             return True
         return self.disk is not None and key in self.disk
+
+    @property
+    def degraded(self) -> bool:
+        """True while the disk tier is being skipped (breaker not closed)."""
+        return (
+            self.disk is not None
+            and self.breaker is not None
+            and self.breaker.state != "closed"
+        )
+
+    def usage(self) -> Dict[str, Any]:
+        """One combined accounting view across both tiers.
+
+        Ops surfaces (``/v1/stats``, dashboards) read this instead of
+        poking tier internals: memory entry counts, the disk store's own
+        ``usage()`` (shard layout, bytes, mtimes) when it has one, the
+        degraded-mode flag, and the tier-level hit/miss counters.
+        """
+        disk_usage: Optional[Dict[str, Any]] = None
+        if self.disk is not None:
+            reporter = getattr(self.disk, "usage", None)
+            if callable(reporter):
+                disk_usage = reporter()
+            else:  # any store can sit in the disk slot; degrade gracefully
+                disk_usage = {"entries": len(self.disk)}
+        return {
+            "memory": self.memory.usage(),
+            "disk": disk_usage,
+            "degraded": self.degraded,
+            "breaker": self.breaker.state if self.breaker is not None else None,
+            "session": self.stats.as_dict(),
+        }
 
 
 CacheStore = Union[MemoryCacheStore, DiskCacheStore, TieredCache]

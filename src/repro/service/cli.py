@@ -16,6 +16,7 @@ registry::
     phoenix cache prune --cache-dir .phoenix-cache --max-bytes 200M --max-age 7d
     phoenix cache doctor --cache-dir .phoenix-cache
     phoenix chaos --scenario ci-smoke --seed 7 --limit 4
+    phoenix serve --port 8077 --cache-dir .phoenix-cache --journal serve.wal
     phoenix workload list
     phoenix workload build "tfim:n=12,lattice=ring" --output program.json
     phoenix workload compile "heisenberg:n=16,lattice=grid,rows=4,cols=4" \
@@ -70,6 +71,7 @@ from repro.service.service import (
     CompilationService,
     JobResult,
     ProgressEvent,
+    job_summary,
 )
 from repro.service.shardcache import ShardedDiskCacheStore
 
@@ -127,24 +129,7 @@ def _emit_result(
 
 
 def _job_summary(job_result: JobResult) -> Dict[str, Any]:
-    summary: Dict[str, Any] = {
-        "name": job_result.name,
-        "status": job_result.status,
-        "cached": job_result.cached,
-        "deduplicated": job_result.deduplicated,
-        "resumed": job_result.resumed,
-        "cancelled": job_result.cancelled,
-        "elapsed": job_result.elapsed,
-        "attempts": job_result.attempts,
-        "key": job_result.key,
-    }
-    if job_result.ok and job_result.result is not None:
-        payload = result_to_dict(job_result.result)
-        summary["metrics"] = payload["metrics"]
-        summary["stage_timings"] = payload["stage_timings"]
-    else:
-        summary["error"] = job_result.error
-    return summary
+    return job_summary(job_result)
 
 
 def _progress_line(event: ProgressEvent) -> str:
@@ -234,17 +219,24 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[CompilationJob]:
-    """Manifest format: a JSON list of ``{"name", "benchmark" | "program" |
-    "workload", ...compiler-option overrides}`` entries; ``"workload"`` is a
-    registry spec string such as ``"maxcut:n=12,graph=powerlaw"``."""
+def jobs_from_entries(
+    entries: List[Dict[str, Any]], defaults: Optional[CompilerOptions] = None
+) -> List[CompilationJob]:
+    """Build compilation jobs from manifest-style entry dicts.
+
+    Entry format: ``{"name", "benchmark" | "program" | "workload",
+    ...compiler-option overrides}``; ``"workload"`` is a registry spec
+    string such as ``"maxcut:n=12,graph=powerlaw"``.  Raises
+    :class:`ValueError` on malformed entries — callers (the batch CLI,
+    ``POST /v1/jobs``) turn that into their own error surface.
+    """
     from repro.chemistry.molecules import benchmark_program
 
-    entries = json.loads(Path(path).read_text(encoding="utf-8"))
-    if not isinstance(entries, list):
-        raise SystemExit("error: manifest must be a JSON list of job entries")
+    defaults = defaults if defaults is not None else CompilerOptions()
     jobs = []
     for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"job entry {position} must be an object, got {entry!r}")
         if "benchmark" in entry:
             program = benchmark_program(entry["benchmark"])
         elif "workload" in entry:
@@ -254,9 +246,8 @@ def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[Compilatio
         elif "program" in entry:
             program = terms_from_dict(entry["program"])
         else:
-            raise SystemExit(
-                f"error: manifest entry {position} needs 'benchmark', "
-                "'workload', or 'program'"
+            raise ValueError(
+                f"job entry {position} needs 'benchmark', 'workload', or 'program'"
             )
         name = entry.get(
             "name",
@@ -270,6 +261,16 @@ def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[Compilatio
         )
         jobs.append(CompilationJob(name, program, CompilerOptions.from_dict(merged)))
     return jobs
+
+
+def _jobs_from_manifest(path: str, defaults: CompilerOptions) -> List[CompilationJob]:
+    entries = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(entries, list):
+        raise SystemExit("error: manifest must be a JSON list of job entries")
+    try:
+        return jobs_from_entries(entries, defaults)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -583,6 +584,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report["survived"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: repro.serve.app imports this module for
+    # jobs_from_entries, so a top-level import would be circular.
+    from repro.serve.app import ServeConfig, run_serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        executor=args.executor,
+        timeout=args.timeout,
+        retries=args.retries,
+        retry_errors=args.retry_errors,
+        cache_dir=args.cache_dir,
+        journal=args.journal,
+        resume=args.resume,
+    )
+    return run_serve(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="phoenix",
@@ -828,6 +850,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="output file (default: stdout)"
     )
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the resident compilation server (HTTP + WebSocket, warm "
+             "process pool, bounded job queue)",
+        parents=[logging_parent],
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8077,
+        help="listen port (default: 8077; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="pending-job queue capacity; overflow answers 429 with "
+             "Retry-After (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width per batch (default: min(#misses, cpu_count))",
+    )
+    serve_parser.add_argument(
+        "--executor", default="auto", choices=["serial", "process", "auto"],
+        help="execution backend for cache misses (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-program wall-clock budget in seconds (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="executor retry budget per program (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--retry-errors", action="store_true",
+        help="also retry programs that fail with errors, not just "
+             "timeouts/crashes (for flaky environments)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory of the on-disk result cache (default: memory only)",
+    )
+    serve_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead log of terminal job outcomes; a drain also parks "
+             "never-started submissions in PATH.pending.json",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="replay outcomes already terminal in --journal instead of "
+             "recompiling them",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -324,6 +324,17 @@ class ProcessExecutor:
     Inline retry after a broken pool assumes failures are transient
     infrastructure issues, not jobs that deterministically kill their
     interpreter.
+
+    ``keep_alive=True`` turns the fork pool into a **persistent warm
+    pool**: the first ``run()`` call forks and warms the workers, later
+    calls reuse them (no re-fork, no re-import, no registry re-warmup)
+    until an explicit :meth:`close` — the resident server's executor, but
+    equally useful for repeated batches inside one long-lived process.  A
+    broken pool is discarded and re-forked on the next call.  Pool
+    lifecycle is observable: ``repro_executor_pool_forks_total`` counts
+    pool creations, ``repro_executor_pool_reuses_total`` counts warm
+    reuses, and the ``repro_executor_pool_workers`` gauge tracks the live
+    worker count.
     """
 
     name = "process"
@@ -340,6 +351,7 @@ class ProcessExecutor:
         warmup: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        keep_alive: bool = False,
     ):
         self.max_workers = max_workers
         self.timeout = timeout
@@ -347,10 +359,55 @@ class ProcessExecutor:
         self.chunk_size = chunk_size
         self.warmup = warmup
         self.breaker = breaker
+        self.keep_alive = keep_alive
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
 
     @property
     def retries(self) -> int:
         return self.retry_policy.max_retries
+
+    @property
+    def pool_workers(self) -> int:
+        """Workers in the live keep-alive pool (0 when none is warm)."""
+        return self._pool_workers if self._pool is not None else 0
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op when none is alive)."""
+        self._discard_pool(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _discard_pool(self, wait: bool = True) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            obs_metrics.gauge("repro_executor_pool_workers").set(0)
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def _acquire_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
+        """A pool to run on: the warm persistent one, or a fresh fork.
+
+        A persistent pool keeps the worker count of its first creation; a
+        later batch asking for more workers reuses it anyway (re-forking
+        would forfeit the warmup the pool exists to preserve).
+        """
+        if self.keep_alive and self._pool is not None:
+            obs_metrics.counter("repro_executor_pool_reuses_total").inc()
+            return self._pool
+        pool = self._open_pool(workers)
+        if pool is None:
+            return None
+        obs_metrics.counter("repro_executor_pool_forks_total").inc()
+        obs_metrics.gauge("repro_executor_pool_workers").set(workers)
+        if self.keep_alive:
+            self._pool = pool
+            self._pool_workers = workers
+        return pool
 
     # ------------------------------------------------------------------
     def _serial(self) -> SerialExecutor:
@@ -410,7 +467,7 @@ class ProcessExecutor:
                 payloads, progress=progress, runner=runner, cancel=cancel
             )
         pool_failed = False
-        pool = self._open_pool(workers)
+        pool = self._acquire_pool(workers)
         if pool is None:
             obs_metrics.counter("repro_executor_broken_pools_total").inc()
             if self.breaker is not None:
@@ -429,6 +486,9 @@ class ProcessExecutor:
         attempts = [0] * len(payloads)
         pending: Dict[Future, List[int]] = {}
         pool_broken = False
+        # The fallback *decision* is counted once per batch, not once per
+        # job — a broken pool is one event however many jobs it strands.
+        fallback_counted = False
 
         def finish(position: int, raw: RawResult) -> None:
             raw.setdefault("attempts", attempts[position])
@@ -467,7 +527,10 @@ class ProcessExecutor:
 
         def resolve_inline(position: int) -> None:
             """Final bounded retries once the pool cannot take the job."""
-            obs_metrics.counter("repro_executor_inline_fallbacks_total").inc()
+            nonlocal fallback_counted
+            if not fallback_counted:
+                fallback_counted = True
+                obs_metrics.counter("repro_executor_inline_fallbacks_total").inc()
             payload = payloads[position]
             token = payload.get("name", payload.get("index", position))
             while attempts[position] <= self.retries:
@@ -619,7 +682,12 @@ class ProcessExecutor:
             pool_failed = True
             raise
         finally:
-            pool.shutdown(wait=not wedged, cancel_futures=True)
+            if pool is not self._pool:
+                pool.shutdown(wait=not wedged, cancel_futures=True)
+            elif pool_broken or pool_failed or wedged:
+                # A sick persistent pool is worthless warm: discard it so
+                # the next batch forks fresh instead of inheriting damage.
+                self._discard_pool(wait=not wedged)
             if self.breaker is not None:
                 # Every allow() gets exactly one outcome, so a half-open
                 # probe can never wedge the breaker.
@@ -655,12 +723,15 @@ def resolve_executor(
     retries: Optional[int] = 1,
     retry_policy: Optional[RetryPolicy] = None,
     breaker: Optional[CircuitBreaker] = None,
+    keep_alive: bool = False,
 ) -> Executor:
     """Turn an executor spec into an executor instance.
 
     ``spec`` is ``"serial"``, ``"process"``, ``"auto"`` (process when both
     the job count and the worker budget exceed 1), ``None`` (same as
     ``"auto"``), or an existing executor object, returned as-is.
+    ``keep_alive`` marks a freshly built process executor as a persistent
+    warm pool (the caller owns its :meth:`ProcessExecutor.close`).
     """
     if spec is None:
         spec = "auto"
@@ -681,4 +752,5 @@ def resolve_executor(
         retries=retries,
         retry_policy=retry_policy,
         breaker=breaker,
+        keep_alive=keep_alive,
     )

@@ -129,6 +129,13 @@ class CompilationService:
     ``retries`` set the service-wide execution defaults;
     :meth:`compile_many` can override the executor, worker budget, and
     timeout per batch.
+
+    ``keep_alive=True`` makes the service hold one **persistent warm
+    process pool** across batches: the first batch that fans out forks and
+    warms the workers, every later batch reuses them, and :meth:`close`
+    (or leaving a ``with`` block) shuts them down.  This is the resident
+    server's mode, and it equally serves repeated batches inside one
+    long-lived process.
     """
 
     def __init__(
@@ -140,12 +147,14 @@ class CompilationService:
         retries: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
         pool_breaker: Optional[CircuitBreaker] = None,
+        keep_alive: bool = False,
     ):
         self.cache = cache if cache is not None else MemoryCacheStore()
         self.executor = executor if executor is not None else "auto"
         self.max_workers = max_workers
         self.timeout = timeout
         self.retry_policy = retry_policy
+        self.keep_alive = keep_alive
         if retries is not None:
             self.retries = int(retries)
         elif retry_policy is not None:
@@ -154,10 +163,33 @@ class CompilationService:
             self.retries = 1
         # One breaker per service: pool health learned in one batch keeps
         # later batches from re-paying the broken-pool discovery cost.
+        # min_calls=2 means two straight pool/warmup failures are enough to
+        # trip it — the third batch falls back serial with one logged,
+        # counted decision instead of re-discovering the broken pool.
         self.pool_breaker = (
-            pool_breaker if pool_breaker is not None else CircuitBreaker("executor.pool")
+            pool_breaker
+            if pool_breaker is not None
+            else CircuitBreaker("executor.pool", min_calls=2)
         )
+        #: The persistent warm executor, created lazily by the first batch
+        #: that resolves to process execution (``keep_alive=True`` only).
+        self._persistent: Optional[Executor] = None
         self._options_fingerprints: Dict[CompilerOptions, str] = {}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release owned executor resources (the persistent warm pool)."""
+        for backend in (self._persistent, self.executor):
+            closer = getattr(backend, "close", None)
+            if callable(closer):
+                closer()
+        self._persistent = None
+
+    def __enter__(self) -> "CompilationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def job_key(self, job: CompilationJob) -> str:
@@ -169,6 +201,25 @@ class CompilationService:
         return compilation_cache_key(
             job.terms(), fingerprint, canonical=not job.options.order_sensitive
         )
+
+    def _reuse_persistent(self, backend: Executor) -> Executor:
+        """Route process batches through the one warm pool the service owns.
+
+        With ``keep_alive`` on, the first resolved process executor is
+        adopted as the persistent backend; later batches reuse it (the
+        pool keeps its original worker count) with their own per-batch
+        timeout and retry policy.  Batches run sequentially per service,
+        so mutating those two fields between runs is race-free.
+        """
+        if not self.keep_alive or not getattr(backend, "keep_alive", False):
+            return backend
+        if self._persistent is None:
+            self._persistent = backend
+            return backend
+        if backend is not self._persistent:
+            self._persistent.timeout = backend.timeout
+            self._persistent.retry_policy = backend.retry_policy
+        return self._persistent
 
     def compile(
         self,
@@ -410,7 +461,9 @@ class CompilationService:
                 retries=self.retries,
                 retry_policy=self.retry_policy,
                 breaker=self.pool_breaker,
+                keep_alive=self.keep_alive,
             )
+            backend = self._reuse_persistent(backend)
 
             def collect(position: int, raw: RawResult) -> None:
                 index = pending[position]["index"]
@@ -530,3 +583,44 @@ class CompilationService:
     def cache_stats(self) -> Dict[str, Any]:
         stats = getattr(self.cache, "stats", None)
         return stats.as_dict() if stats is not None else {}
+
+    def executor_stats(self) -> Dict[str, Any]:
+        """Live executor facts for ops surfaces (``/v1/stats``)."""
+        persistent = self._persistent
+        return {
+            "keep_alive": self.keep_alive,
+            "pool_workers": getattr(persistent, "pool_workers", 0) if persistent else 0,
+            "breaker": self.pool_breaker.state,
+        }
+
+
+def job_summary(job_result: JobResult, include_result: bool = False) -> Dict[str, Any]:
+    """The JSON-compatible summary of one finished job.
+
+    The shape shared by ``phoenix batch --format json``, the server's
+    ``GET /v1/jobs/<id>``, and saved batch artifacts: provenance and
+    outcome fields always, ``metrics``/``stage_timings`` for ok jobs,
+    ``error`` otherwise.  ``include_result=True`` embeds the full
+    serialized :class:`CompilationResult` under ``"result"`` (the server
+    does, so clients can byte-compare against a local compile).
+    """
+    summary: Dict[str, Any] = {
+        "name": job_result.name,
+        "status": job_result.status,
+        "cached": job_result.cached,
+        "deduplicated": job_result.deduplicated,
+        "resumed": job_result.resumed,
+        "cancelled": job_result.cancelled,
+        "elapsed": job_result.elapsed,
+        "attempts": job_result.attempts,
+        "key": job_result.key,
+    }
+    if job_result.ok and job_result.result is not None:
+        payload = result_to_dict(job_result.result)
+        summary["metrics"] = payload["metrics"]
+        summary["stage_timings"] = payload["stage_timings"]
+        if include_result:
+            summary["result"] = payload
+    else:
+        summary["error"] = job_result.error
+    return summary

@@ -1,0 +1,82 @@
+"""RFC 6455 framing unit tests (sync and async decode paths)."""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.serve import ws
+
+
+def reader_for(data: bytes):
+    stream = io.BytesIO(data)
+
+    def read_exact(count: int) -> bytes:
+        chunk = stream.read(count)
+        assert len(chunk) == count, "test frame truncated"
+        return chunk
+
+    return read_exact
+
+
+def test_accept_key_rfc_vector():
+    # The worked example from RFC 6455 section 1.3.
+    assert ws.accept_key("dGhlIHNhbXBsZSBub25jZQ==") == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+
+@pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 70000])
+@pytest.mark.parametrize("mask", [False, True])
+def test_frame_round_trip_lengths(size, mask):
+    payload = bytes(index % 251 for index in range(size))
+    frame = ws.encode_frame(payload, ws.OP_TEXT, mask=mask)
+    opcode, decoded = ws.decode_frame(reader_for(frame))
+    assert opcode == ws.OP_TEXT
+    assert decoded == payload
+
+
+def test_control_frames_round_trip():
+    for opcode in (ws.OP_CLOSE, ws.OP_PING, ws.OP_PONG):
+        frame = ws.encode_frame(b"ctx", opcode, mask=True)
+        decoded_opcode, payload = ws.decode_frame(reader_for(frame))
+        assert decoded_opcode == opcode
+        assert payload == b"ctx"
+
+
+def test_masked_frame_differs_on_wire_but_decodes():
+    payload = b"the same payload"
+    masked = ws.encode_frame(payload, mask=True)
+    clear = ws.encode_frame(payload, mask=False)
+    assert masked[2:] != payload  # actually masked on the wire
+    assert ws.decode_frame(reader_for(masked))[1] == payload
+    assert ws.decode_frame(reader_for(clear))[1] == payload
+
+
+def test_reserved_bits_rejected():
+    frame = bytearray(ws.encode_frame(b"x"))
+    frame[0] |= 0x40  # RSV1 without a negotiated extension
+    with pytest.raises(ws.WebSocketError):
+        ws.decode_frame(reader_for(bytes(frame)))
+
+
+def test_oversized_frame_rejected():
+    # A 127-length header claiming more than MAX_FRAME, no payload needed.
+    import struct
+
+    header = bytes([0x81, 127]) + struct.pack("!Q", ws.MAX_FRAME + 1)
+    with pytest.raises(ws.WebSocketError):
+        ws.decode_frame(reader_for(header))
+
+
+def test_async_decode_matches_sync():
+    payload = b'{"type": "progress", "completed": 3}'
+    frame = ws.encode_frame(payload, mask=True)
+
+    async def decode():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame)
+        reader.feed_eof()
+        return await ws.decode_frame_async(reader.readexactly)
+
+    opcode, decoded = asyncio.run(decode())
+    assert (opcode, decoded) == ws.decode_frame(reader_for(frame))
+    assert decoded == payload

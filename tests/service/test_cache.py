@@ -206,3 +206,53 @@ class TestDegradation:
         purged = store.doctor(repair=True, purge=True)
         assert purged.purged == 1
         assert purged.quarantine_backlog == 0
+
+
+class TestUsage:
+    """Combined cache usage/occupancy reporting (the /v1/stats surface)."""
+
+    def test_memory_usage_counts_entries(self):
+        store = MemoryCacheStore(max_entries=3)
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": 2})
+        usage = store.usage()
+        assert usage["entries"] == 2
+        assert usage["max_entries"] == 3
+        assert usage["session"]["puts"] == 2
+
+    def test_disk_usage_reports_bytes_and_entries(self, tmp_path):
+        store = DiskCacheStore(tmp_path / "cache")
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": [1, 2, 3]})
+        usage = store.usage()
+        assert usage["entries"] == 2
+        assert usage["total_bytes"] > 0
+        assert usage["root"] == str(tmp_path / "cache")
+
+    def test_tiered_usage_combines_layers_and_degraded_flag(self, tmp_path):
+        from repro.service.resilience import CircuitBreaker
+
+        tiered = TieredCache(
+            memory=MemoryCacheStore(max_entries=8),
+            disk=DiskCacheStore(tmp_path / "cache"),
+            breaker=CircuitBreaker("cache.test", min_calls=1, failure_threshold=0.1),
+        )
+        tiered.put("k1", {"v": 1})
+        usage = tiered.usage()
+        assert usage["memory"]["entries"] == 1
+        assert usage["disk"]["entries"] == 1
+        assert usage["degraded"] is False
+        assert usage["breaker"] == "closed"
+        # Trip the breaker: the cache reports itself degraded.
+        tiered.breaker.record_failure()
+        assert tiered.breaker.state == "open"
+        assert tiered.degraded is True
+        assert tiered.usage()["degraded"] is True
+
+    def test_memory_only_tiered_is_never_degraded(self):
+        tiered = TieredCache(memory=MemoryCacheStore())
+        tiered.put("k1", {"v": 1})
+        usage = tiered.usage()
+        assert usage["disk"] is None
+        assert usage["degraded"] is False
+        assert usage["breaker"] is None

@@ -240,3 +240,55 @@ class TestResolveExecutor:
     def test_default_worker_count_bounds(self):
         assert default_worker_count(0) == 1
         assert 1 <= default_worker_count(100) <= (os.cpu_count() or 1)
+
+
+def pid_runner(payload):
+    return {"index": payload["index"], "status": "ok", "pid": os.getpid()}
+
+
+class TestKeepAlivePool:
+    """The persistent warm pool behind ``keep_alive=True``."""
+
+    def test_workers_survive_across_runs(self, clean_metrics):
+        with ProcessExecutor(max_workers=2, warmup=False, keep_alive=True) as executor:
+            first = executor.run(_payloads(4), runner=pid_runner)
+            assert executor.pool_workers == 2
+            second = executor.run(_payloads(4), runner=pid_runner)
+            first_pids = {raw["pid"] for raw in first}
+            second_pids = {raw["pid"] for raw in second}
+            # Same pool, same processes: across both runs only the two
+            # original workers ever appear (chunk scheduling may hand a
+            # whole run to one of them, so equality is too strong).
+            assert len(first_pids | second_pids) <= 2
+            assert first_pids and second_pids
+            forks = clean_metrics.counter("repro_executor_pool_forks_total")
+            reuses = clean_metrics.counter("repro_executor_pool_reuses_total")
+            assert forks.as_value() == 1
+            assert reuses.as_value() == 1
+            assert clean_metrics.gauge("repro_executor_pool_workers").as_value() == 2
+        # Context exit closes the pool and zeroes the gauge.
+        assert executor.pool_workers == 0
+        assert clean_metrics.gauge("repro_executor_pool_workers").as_value() == 0
+
+    def test_close_then_run_forks_a_fresh_pool(self, clean_metrics):
+        executor = ProcessExecutor(max_workers=2, warmup=False, keep_alive=True)
+        try:
+            executor.run(_payloads(3), runner=pid_runner)
+            executor.close()
+            assert executor.pool_workers == 0
+            executor.run(_payloads(3), runner=pid_runner)
+            assert executor.pool_workers == 2
+            forks = clean_metrics.counter("repro_executor_pool_forks_total")
+            assert forks.as_value() == 2
+        finally:
+            executor.close()
+
+    def test_without_keep_alive_every_run_forks(self, clean_metrics):
+        executor = ProcessExecutor(max_workers=2, warmup=False)
+        executor.run(_payloads(3), runner=pid_runner)
+        executor.run(_payloads(3), runner=pid_runner)
+        assert executor.pool_workers == 0
+        forks = clean_metrics.counter("repro_executor_pool_forks_total")
+        reuses = clean_metrics.counter("repro_executor_pool_reuses_total")
+        assert forks.as_value() == 2
+        assert reuses.as_value() == 0

@@ -239,3 +239,46 @@ class TestBatchTimeoutOverride:
         service = CompilationService(timeout=120.0)
         service.compile_many([CompilationJob("a", tiny_program)], timeout=7.5)
         assert captured["timeout"] == 7.5
+
+
+class TestKeepAliveService:
+    """The service-owned persistent warm pool (the resident server's mode)."""
+
+    def test_persistent_executor_reused_across_batches(
+        self, tiny_program, qaoa_line_program, clean_metrics
+    ):
+        with CompilationService(
+            executor="process", max_workers=2, keep_alive=True
+        ) as service:
+            # Two batches with distinct programs: both fan out, only the
+            # first may fork.
+            first = service.compile_many(
+                [
+                    CompilationJob("a1", tiny_program),
+                    CompilationJob("a2", qaoa_line_program),
+                ],
+                workers=2,
+            )
+            stats_between = service.executor_stats()
+            second = service.compile_many(
+                [
+                    CompilationJob("b1", tiny_program, CompilerOptions(seed=5)),
+                    CompilationJob("b2", qaoa_line_program, CompilerOptions(seed=5)),
+                ],
+                workers=2,
+            )
+            assert all(result.ok for result in first + second)
+            assert stats_between["keep_alive"] is True
+            assert stats_between["pool_workers"] == 2
+            forks = clean_metrics.counter("repro_executor_pool_forks_total")
+            reuses = clean_metrics.counter("repro_executor_pool_reuses_total")
+            assert forks.as_value() == 1
+            assert reuses.as_value() >= 1
+        # Leaving the with-block closes the pool.
+        assert service.executor_stats()["pool_workers"] == 0
+
+    def test_close_is_idempotent_and_safe_without_pool(self):
+        service = CompilationService(keep_alive=True)
+        service.close()
+        service.close()
+        assert service.executor_stats()["pool_workers"] == 0
