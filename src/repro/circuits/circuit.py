@@ -7,7 +7,6 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 import numpy as np
 
 from repro.circuits.gates import (
-    GATE_NAMES_2Q,
     Gate,
     encode_pauli_pair,
 )

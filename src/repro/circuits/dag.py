@@ -12,7 +12,9 @@ dependencies.  Two modes are provided:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.circuits.gates import Gate
 
@@ -78,3 +80,43 @@ def endian_vectors(circuit, qubits=None):
     e_l = [first_touch[q] for q in qubits]
     e_r = [depth2q - 1 - last_touch[q] if last_touch[q] >= 0 else depth2q for q in qubits]
     return e_l, e_r
+
+
+def two_qubit_geometry(
+    pairs: Sequence[Tuple[int, int]], num_qubits: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """ASAP 2Q endian geometry straight from a qubit-pair sequence.
+
+    Equivalent to building a circuit of the given 2Q gates and calling
+    :func:`endian_vectors` / ``len(circuit_layers(..., two_qubit_only=True))``,
+    but without materialising any :class:`Gate` objects — the fast ordering
+    engine feeds it the symbolic 2Q gate sequence of a simplified group.
+
+    Returns dense ``(e_l, e_r, depth_2q)`` over **all** ``num_qubits``: for
+    every qubit ``q``, ``e_l[q]`` / ``e_r[q]`` is the 2Q-layer distance of
+    its first/last touch from the left/right, and qubits never touched get
+    ``depth_2q`` on both sides — exactly the default the reference ordering
+    uses for qubits outside a block's endian dictionaries.
+    """
+    finish = [0] * num_qubits
+    first = [-1] * num_qubits
+    last = [-1] * num_qubits
+    depth = 0
+    for a, b in pairs:
+        start = finish[a] if finish[a] >= finish[b] else finish[b]
+        nxt = start + 1
+        finish[a] = nxt
+        finish[b] = nxt
+        if first[a] < 0:
+            first[a] = start
+        if first[b] < 0:
+            first[b] = start
+        last[a] = start
+        last[b] = start
+        if nxt > depth:
+            depth = nxt
+    first_arr = np.asarray(first, dtype=np.int64)
+    last_arr = np.asarray(last, dtype=np.int64)
+    e_l = np.where(first_arr >= 0, first_arr, depth)
+    e_r = np.where(last_arr >= 0, depth - 1 - last_arr, depth)
+    return e_l, e_r, depth

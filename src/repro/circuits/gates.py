@@ -79,6 +79,14 @@ SELF_INVERSE = frozenset(
 #: Inverse pairs among fixed gates.
 INVERSE_PAIRS = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
 
+#: 2Q gates invariant under swapping their qubit order: ``G(a, b) == G(b, a)``
+#: as unitaries.  ``C(s, s)`` is symmetric for every Pauli ``s`` (and ``cz``
+#: is ``C(z, z)`` up to the control convention), ``swap`` trivially so, and
+#: the two-qubit rotations about a symmetric generator likewise.  The
+#: cancellation/merging passes and the ordering seam heuristic compare these
+#: gates by qubit *set*; all other 2Q gates compare by ordered tuple.
+SYMMETRIC_2Q = frozenset({"cxx", "cyy", "czz", "cz", "swap", "rxx", "ryy", "rzz"})
+
 _PAULI_CHARS = {"x": _X, "y": _Y, "z": _Z}
 
 

@@ -8,8 +8,6 @@ two-qubit Pauli rotations, opaque SU(4)) are lowered to CNOT + 1Q gates by
 
 from __future__ import annotations
 
-from repro.circuits.gates import decode_pauli_pair
-
 _DIRECT = {
     "i": "id",
     "x": "x",

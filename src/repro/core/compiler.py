@@ -74,6 +74,11 @@ class PhoenixCompiler(PipelineCompiler):
         Candidate scorer of the Clifford2Q search: ``"fast"`` (incremental
         bit-packed scoring), ``"reference"`` (the original copy-and-rescore
         scan), or ``"auto"`` (fast; both produce bit-identical circuits).
+    ordering_engine:
+        Window scorer of the Tetris-like group ordering: ``"fast"``
+        (batched block geometry + broadcast window costs), ``"reference"``
+        (the original per-pair loop), or ``"auto"`` (fast; both produce
+        bit-identical orderings).
     cache:
         Optional cache store with ``get(key) -> dict | None`` and
         ``put(key, dict)`` (see :mod:`repro.service.cache`).  When set,
@@ -95,6 +100,7 @@ class PhoenixCompiler(PipelineCompiler):
         seed: int = 0,
         cache=None,
         simplify_engine: str = "auto",
+        ordering_engine: str = "auto",
     ):
         super().__init__(
             isa=isa,
@@ -103,6 +109,7 @@ class PhoenixCompiler(PipelineCompiler):
             seed=seed,
             lookahead=lookahead,
             simplify_engine=simplify_engine,
+            ordering_engine=ordering_engine,
             cache=cache,
         )
 

@@ -116,12 +116,23 @@ class Histogram:
     Bucket counts are exact and cumulative (Prometheus ``le`` semantics);
     quantiles come from a sorted reservoir of the first
     :data:`MAX_SAMPLES` observations — exact for bench-scale workloads,
-    bounded for long-lived services.
+    bounded for long-lived services.  ``min``/``max`` are tracked as running
+    extrema over *every* observation, so they stay exact after the
+    reservoir caps out (quantiles from the reservoir are then approximate).
     """
 
     kind = "histogram"
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum", "_samples", "_lock")
+    __slots__ = (
+        "buckets",
+        "bucket_counts",
+        "count",
+        "sum",
+        "_min",
+        "_max",
+        "_samples",
+        "_lock",
+    )
 
     def __init__(self, buckets: Optional[Sequence[float]] = None):
         self.buckets: Tuple[float, ...] = tuple(buckets or DURATION_BUCKETS)
@@ -130,6 +141,8 @@ class Histogram:
         self.bucket_counts = [0] * len(self.buckets)
         self.count = 0
         self.sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
         self._samples: List[float] = []
         self._lock = threading.Lock()
 
@@ -138,6 +151,10 @@ class Histogram:
         with self._lock:
             self.count += 1
             self.sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
             index = bisect_left(self.buckets, value)
             if index < len(self.bucket_counts):
                 self.bucket_counts[index] += 1
@@ -165,7 +182,8 @@ class Histogram:
                 "mean": self.mean,
                 "p50": quantile(self._samples, 0.5),
                 "p95": quantile(self._samples, 0.95),
-                "max": self._samples[-1] if self._samples else 0.0,
+                "min": self._min if self._min is not None else 0.0,
+                "max": self._max if self._max is not None else 0.0,
                 "buckets": cumulative,
             }
 

@@ -68,6 +68,22 @@ def pack_bits(mat: np.ndarray) -> np.ndarray:
     return packed_bytes.view(np.uint64)
 
 
+def pack_index_masks(index_lists: Sequence[Sequence[int]], num_bits: int) -> np.ndarray:
+    """Pack per-row index sets into ``(rows, words)`` uint64 support masks.
+
+    Row ``i`` of the result has exactly the bits named by
+    ``index_lists[i]`` set — the packed-support-mask form the fast ordering
+    engine uses for whole-window union/interlock tests.  Equivalent to
+    building the boolean indicator matrix and calling :func:`pack_bits`.
+    """
+    rows = len(index_lists)
+    mat = np.zeros((rows, int(num_bits)), dtype=bool)
+    for i, indices in enumerate(index_lists):
+        if len(indices):
+            mat[i, list(indices)] = True
+    return pack_bits(mat)
+
+
 def unpack_bits(packed: np.ndarray, num_bits: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`: ``(n, words)`` words -> ``(n, num_bits)`` bool."""
     packed = np.atleast_2d(np.asarray(packed, dtype=np.uint64))

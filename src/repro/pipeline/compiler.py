@@ -43,6 +43,7 @@ class PipelineCompiler:
         seed: int = 0,
         lookahead: int = 10,
         simplify_engine: str = "auto",
+        ordering_engine: str = "auto",
         cache=None,
     ):
         self.options = CompileOptions(
@@ -52,6 +53,7 @@ class PipelineCompiler:
             lookahead=lookahead,
             seed=seed,
             simplify_engine=simplify_engine,
+            ordering_engine=ordering_engine,
         )
         self.cache = cache
 
@@ -82,6 +84,7 @@ class PipelineCompiler:
             "seed": options.seed,
             "lookahead": options.lookahead,
             "simplify_engine": options.simplify_engine,
+            "ordering_engine": options.ordering_engine,
         }
         kwargs = {key: value for key, value in candidate.items() if key in accepted}
         if cache is not None and "cache" in accepted:
@@ -138,6 +141,14 @@ class PipelineCompiler:
     @simplify_engine.setter
     def simplify_engine(self, value: str) -> None:
         self.options = self.options.replace(simplify_engine=value)
+
+    @property
+    def ordering_engine(self) -> str:
+        return self.options.ordering_engine
+
+    @ordering_engine.setter
+    def ordering_engine(self, value: str) -> None:
+        self.options = self.options.replace(ordering_engine=value)
 
     # ------------------------------------------------------------------
     def build_pipeline(self) -> Pipeline:

@@ -28,6 +28,7 @@ Program = Union[Hamiltonian, Sequence[PauliTerm]]
 
 ISAS = ("cnot", "su4")
 SIMPLIFY_ENGINES = ("auto", "fast", "reference")
+ORDERING_ENGINES = ("auto", "fast", "reference")
 
 
 def as_terms(program: Program, allow_empty: bool = False) -> List[PauliTerm]:
@@ -66,6 +67,11 @@ class CompileOptions:
     simplify_engine:
         Candidate scorer of the Clifford2Q search used by the ``simplify``
         stage: ``"fast"``, ``"reference"``, or ``"auto"``.
+    ordering_engine:
+        Window scorer of the Tetris-like ``order`` stage: ``"fast"``
+        (batched block geometry + broadcast window costs), ``"reference"``
+        (the original per-pair loop), or ``"auto"`` (fast; both produce
+        bit-identical orderings).
     """
 
     isa: str = "cnot"
@@ -74,6 +80,7 @@ class CompileOptions:
     lookahead: int = 10
     seed: int = 0
     simplify_engine: str = "auto"
+    ordering_engine: str = "auto"
 
     def __post_init__(self):
         if self.isa not in ISAS:
@@ -83,6 +90,11 @@ class CompileOptions:
         if self.simplify_engine not in SIMPLIFY_ENGINES:
             raise ValueError(
                 f"unsupported simplify engine {self.simplify_engine!r}; "
+                "expected 'auto', 'fast' or 'reference'"
+            )
+        if self.ordering_engine not in ORDERING_ENGINES:
+            raise ValueError(
+                f"unsupported ordering engine {self.ordering_engine!r}; "
                 "expected 'auto', 'fast' or 'reference'"
             )
         object.__setattr__(self, "optimization_level", int(self.optimization_level))
@@ -104,8 +116,9 @@ class CompileOptions:
         """The complete compile-affecting configuration as plain data.
 
         Byte-identical to the pre-pipeline ``PhoenixCompiler.config_dict``
-        (``simplify_engine`` is deliberately excluded: both engines produce
-        bit-identical circuits, so it must not split cache entries).
+        (``simplify_engine`` and ``ordering_engine`` are deliberately
+        excluded: each knob's engines produce bit-identical circuits, so
+        they must not split cache entries).
         """
         return {
             "compiler": compiler,

@@ -74,6 +74,7 @@ class OrderStage:
             context.num_qubits,
             lookahead=context.options.lookahead,
             routing_aware=context.hardware_aware,
+            engine=context.options.ordering_engine,
         )
 
 

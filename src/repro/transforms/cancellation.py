@@ -14,20 +14,32 @@ import math
 from typing import Dict, List, Optional
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate, INVERSE_PAIRS, SELF_INVERSE
+from repro.circuits.gates import Gate, INVERSE_PAIRS, SELF_INVERSE, SYMMETRIC_2Q
 
 _ROTATIONS = {"rz", "rx", "ry", "rzz", "rxx", "ryy", "rzx"}
 _ANGLE_TOL = 1e-12
 
 
+def _same_placement(gate_a: Gate, gate_b: Gate) -> bool:
+    """Whether two same-named gates act on the same qubits for cancellation.
+
+    Symmetric 2Q gates (``cxx(0, 1) == cxx(1, 0)`` as unitaries) compare by
+    qubit set, so the swapped-qubit order the ordering stage's seam heuristic
+    credits actually cancels; every other gate compares by ordered tuple.
+    """
+    if gate_a.qubits == gate_b.qubits:
+        return True
+    return gate_a.name in SYMMETRIC_2Q and set(gate_a.qubits) == set(gate_b.qubits)
+
+
 def _are_inverse(gate_a: Gate, gate_b: Gate) -> bool:
     """True when ``gate_b`` follows ``gate_a`` on the same qubits and cancels it."""
-    if gate_a.qubits != gate_b.qubits:
+    if gate_a.name == gate_b.name:
+        if gate_a.name in SELF_INVERSE and gate_a.name != "su4":
+            return _same_placement(gate_a, gate_b)
         return False
-    if gate_a.name in SELF_INVERSE and gate_a.name == gate_b.name and gate_a.name != "su4":
-        return True
     if INVERSE_PAIRS.get(gate_a.name) == gate_b.name:
-        return True
+        return gate_a.qubits == gate_b.qubits
     return False
 
 
@@ -35,7 +47,7 @@ def _merged_rotation(gate_a: Gate, gate_b: Gate) -> Optional[Gate]:
     """Merge two same-axis rotations on the same qubits, or None."""
     if gate_a.name != gate_b.name or gate_a.name not in _ROTATIONS:
         return None
-    if gate_a.qubits != gate_b.qubits:
+    if not _same_placement(gate_a, gate_b):
         return None
     angle = gate_a.params[0] + gate_b.params[0]
     angle = math.remainder(angle, 4 * math.pi)

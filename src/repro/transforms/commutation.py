@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
+from repro.circuits.gates import Gate, SYMMETRIC_2Q
 from repro.transforms.cancellation import cancel_adjacent_inverses, merge_rotations
 
 _Z_LIKE = {"z", "s", "sdg", "t", "tdg", "rz"}
@@ -79,7 +79,10 @@ def _sift_commuting(circuit: QuantumCircuit) -> QuantumCircuit:
         while position > 0:
             prev = gates[position - 1]
             if set(prev.qubits) & set(gate.qubits):
-                if prev.qubits == gate.qubits and prev.name == gate.name:
+                same_placement = prev.qubits == gate.qubits or (
+                    gate.name in SYMMETRIC_2Q and set(prev.qubits) == set(gate.qubits)
+                )
+                if same_placement and prev.name == gate.name:
                     break  # already adjacent to a potential cancellation partner
                 if _commutes(prev, gate):
                     gates[position - 1], gates[position] = gate, prev

@@ -45,3 +45,46 @@ class TestEndianVectors:
         e_left, e_right = endian_vectors(circuit, qubits=[1, 2])
         assert e_left == [0, 0]
         assert e_right == [0, 0]
+
+
+class TestTwoQubitGeometry:
+    def _reference(self, pairs, num_qubits):
+        """Oracle: build the real circuit and use layers/endian vectors."""
+        circuit = QuantumCircuit(num_qubits)
+        for a, b in pairs:
+            circuit.cx(a, b)
+        e_l, e_r = endian_vectors(circuit)
+        depth = circuit_depth(circuit, two_qubit_only=True)
+        return e_l, e_r, depth
+
+    def test_matches_endian_vectors_on_random_sequences(self):
+        import numpy as np
+
+        from repro.circuits.dag import two_qubit_geometry
+
+        rng = np.random.default_rng(23)
+        for _ in range(80):
+            n = int(rng.integers(2, 12))
+            pairs = [
+                tuple(rng.choice(n, 2, replace=False).tolist())
+                for _ in range(int(rng.integers(0, 16)))
+            ]
+            e_l, e_r, depth = two_qubit_geometry(pairs, n)
+            ref_l, ref_r, ref_depth = self._reference(pairs, n)
+            assert depth == ref_depth
+            assert e_l.tolist() == ref_l
+            assert e_r.tolist() == ref_r
+
+    def test_untouched_qubits_get_full_depth(self):
+        from repro.circuits.dag import two_qubit_geometry
+
+        e_l, e_r, depth = two_qubit_geometry([(0, 1), (0, 1)], 3)
+        assert depth == 2
+        assert e_l[2] == 2 and e_r[2] == 2
+
+    def test_empty_pair_list(self):
+        from repro.circuits.dag import two_qubit_geometry
+
+        e_l, e_r, depth = two_qubit_geometry([], 4)
+        assert depth == 0
+        assert not e_l.any() and not e_r.any()

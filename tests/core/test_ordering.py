@@ -104,3 +104,112 @@ class TestOrderGroups:
         ordered = order_groups(simplified, 5, lookahead=1)
         widths = [g.group.weight for g in ordered]
         assert widths == sorted(widths, reverse=True)
+
+
+def _workload_simplified(spec):
+    from repro.workloads.registry import workload_from_spec
+
+    terms = workload_from_spec(spec).to_terms()
+    num_qubits = terms[0].num_qubits
+    return [simplify_group(g) for g in group_terms(terms)], num_qubits
+
+
+class TestFastEngine:
+    def test_invalid_engine_rejected(self, small_program):
+        simplified = [simplify_group(g) for g in group_terms(small_program)]
+        with pytest.raises(ValueError, match="unknown ordering engine"):
+            order_groups(simplified, 5, engine="magic")
+
+    def test_symbolic_structure_matches_emitted_circuit(self):
+        """The fast engine's symbolic 2Q view must equal the real circuit's.
+
+        For every group of a real workload, the symbolic pair sequence must
+        list exactly the emitted circuit's 2Q gates, and the symbolic
+        boundary must equal :func:`_boundary_cliffords` on both ends.
+        """
+        from repro.core.emission import group_to_circuit
+        from repro.core.ordering import (
+            _boundary_cliffords,
+            _symbolic_boundary,
+            _symbolic_two_qubit_pairs,
+        )
+
+        simplified, num_qubits = _workload_simplified("xxz:n=12,lattice=chain")
+        assert simplified
+        for group in simplified:
+            circuit = group_to_circuit(group, num_qubits)
+            pairs, clifford_gates, has_final2 = _symbolic_two_qubit_pairs(group)
+            emitted_pairs = [g.qubits for g in circuit if g.is_two_qubit()]
+            assert [tuple(p) for p in pairs] == emitted_pairs
+            boundary = _symbolic_boundary(clifford_gates, has_final2)
+            assert boundary == _boundary_cliffords(circuit, from_left=True)
+            assert boundary == _boundary_cliffords(circuit, from_left=False)
+
+    @pytest.mark.parametrize("routing_aware", [False, True])
+    @pytest.mark.parametrize(
+        "spec", ["xxz:n=14,lattice=chain", "maxcut:n=12,graph=reg3,layers=2"]
+    )
+    def test_fast_matches_reference_bit_for_bit(self, spec, routing_aware):
+        simplified, num_qubits = _workload_simplified(spec)
+        reference = order_groups(
+            simplified, num_qubits, routing_aware=routing_aware, engine="reference"
+        )
+        fast = order_groups(
+            simplified, num_qubits, routing_aware=routing_aware, engine="fast"
+        )
+        assert [id(g) for g in fast] == [id(g) for g in reference]
+
+    @pytest.mark.parametrize("lookahead", [1, 3, 25])
+    def test_fast_matches_reference_across_lookaheads(self, lookahead):
+        simplified, num_qubits = _workload_simplified("xxz:n=14,lattice=chain")
+        reference = order_groups(
+            simplified, num_qubits, lookahead=lookahead, engine="reference"
+        )
+        fast = order_groups(simplified, num_qubits, lookahead=lookahead, engine="fast")
+        assert [id(g) for g in fast] == [id(g) for g in reference]
+
+    def test_auto_uses_fast(self, small_program):
+        simplified = [simplify_group(g) for g in group_terms(small_program)]
+        auto = order_groups(simplified, 5, engine="auto")
+        fast = order_groups(simplified, 5, engine="fast")
+        assert [id(g) for g in auto] == [id(g) for g in fast]
+
+
+class TestSeamCreditsAreRealized:
+    def test_credited_seam_cliffords_cancel_under_optimization(self):
+        """Every seam cancellation the heuristic credits must be realised.
+
+        The credit counts boundary-Clifford pairs (1Q locals skipped), so
+        the contract is: optimizing the two adjacent boundary runs removes
+        at least two 2Q gates per credited pair.  This is the agreement
+        between the ordering's scoring and the optimizer that the
+        swapped-qubit symmetric-gate fix restores.
+        """
+        from repro.circuits.circuit import QuantumCircuit
+        from repro.core.ordering import _seam_cancellations
+        from repro.circuits.gates import Gate
+        from repro.transforms.optimize import optimize_circuit
+
+        simplified, num_qubits = _workload_simplified(
+            "kpauli:n=10,num_terms=60,k=3,seed=5"
+        )
+        ordered = order_groups(simplified, num_qubits)
+        blocks = [build_block(g, num_qubits) for g in ordered]
+        credited_pairs = 0
+        for prev, nxt in zip(blocks, blocks[1:]):
+            cancellations = _seam_cancellations(prev, nxt)
+            if not cancellations:
+                continue
+            credited_pairs += 1
+            seam = QuantumCircuit(num_qubits)
+            for name, qubits in reversed(prev.trailing_cliffords):
+                seam.append(Gate(name, qubits))
+            for name, qubits in nxt.leading_cliffords:
+                seam.append(Gate(name, qubits))
+            before = seam.count_2q()
+            after = optimize_circuit(seam, level=2).count_2q()
+            assert before - after >= 2 * cancellations, (
+                f"seam credited {cancellations} cancellations but optimization "
+                f"only removed {before - after} of {before} 2Q gates"
+            )
+        assert credited_pairs > 0, "workload produced no credited seams"

@@ -64,6 +64,24 @@ class TestHistogram:
         assert series.count == MAX_SAMPLES + 100
         assert len(series._samples) == MAX_SAMPLES
 
+    def test_extrema_stay_exact_past_the_reservoir_cap(self):
+        """Regression: max/min must track every observation, not just the
+        first MAX_SAMPLES that land in the quantile reservoir."""
+        series = Histogram(buckets=(1.0,))
+        for index in range(MAX_SAMPLES):
+            series.observe(100.0 + index)
+        # These arrive after the reservoir is full.
+        series.observe(99999.0)
+        series.observe(0.25)
+        view = series.as_value()
+        assert view["max"] == 99999.0
+        assert view["min"] == 0.25
+
+    def test_empty_histogram_extrema_are_zero(self):
+        view = Histogram(buckets=(1.0,)).as_value()
+        assert view["max"] == 0.0
+        assert view["min"] == 0.0
+
     def test_buckets_must_ascend(self):
         with pytest.raises(ValueError):
             Histogram(buckets=(1.0, 0.5))

@@ -83,3 +83,28 @@ class TestPackedBSF:
         clone = packed.copy()
         clone.x[0] = 0
         assert packed.x[0].any()
+
+
+class TestPackIndexMasks:
+    def test_matches_boolean_indicator_packing(self):
+        from repro.paulis.packed import pack_index_masks
+
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            num_bits = int(rng.integers(1, 150))
+            rows = [
+                sorted(rng.choice(num_bits, size=int(rng.integers(0, min(8, num_bits))), replace=False).tolist())
+                for _ in range(int(rng.integers(1, 10)))
+            ]
+            indicator = np.zeros((len(rows), num_bits), dtype=bool)
+            for i, indices in enumerate(rows):
+                indicator[i, indices] = True
+            assert np.array_equal(pack_index_masks(rows, num_bits), pack_bits(indicator))
+
+    def test_empty_rows_pack_to_zero_words(self):
+        from repro.paulis.packed import pack_index_masks
+
+        packed = pack_index_masks([(), (3,)], 70)
+        assert packed.shape == (2, 2)
+        assert not packed[0].any()
+        assert unpack_bits(packed[1:], 70)[0, 3]

@@ -56,6 +56,13 @@ class TestCompileOptionsValidation:
         with pytest.raises(ValueError, match="unsupported simplify engine"):
             CompileOptions(simplify_engine="magic")
 
+    def test_invalid_ordering_engine_rejected(self):
+        with pytest.raises(ValueError, match="unsupported ordering engine"):
+            CompileOptions(ordering_engine="magic")
+
+    def test_ordering_engine_defaults_to_auto(self):
+        assert CompileOptions().ordering_engine == "auto"
+
     def test_scalars_coerced_to_int(self):
         options = CompileOptions(optimization_level="3", lookahead="5", seed="1")
         assert (options.optimization_level, options.lookahead, options.seed) == (3, 5, 1)
@@ -118,6 +125,12 @@ class TestConfigFingerprint:
         fast = CompileOptions(simplify_engine="fast")
         reference = CompileOptions(simplify_engine="reference")
         assert fast.config_fingerprint() == reference.config_fingerprint()
+
+    def test_ordering_engine_must_not_split_cache_entries(self):
+        fast = CompileOptions(ordering_engine="fast")
+        reference = CompileOptions(ordering_engine="reference")
+        assert fast.config_fingerprint() == reference.config_fingerprint()
+        assert "ordering_engine" not in fast.config_dict()
 
     def test_every_compile_affecting_knob_changes_the_digest(self):
         base = CompileOptions().config_fingerprint()

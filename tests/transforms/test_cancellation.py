@@ -52,6 +52,36 @@ class TestInverseCancellation:
         circuit.cx(0, 1).cx(1, 0)
         assert cancel_adjacent_inverses(circuit).count("cx") == 2
 
+    @pytest.mark.parametrize("kind", ["xx", "yy", "zz"])
+    def test_swapped_symmetric_controlled_pauli_cancels(self, kind):
+        """cxx(0,1)·cxx(1,0) is the identity — the seam the ordering credits.
+
+        Regression test: the ordering stage's seam heuristic counts swapped
+        placements of the symmetric Cliffords as cancellations, so the
+        optimizer must actually remove them.
+        """
+        circuit = QuantumCircuit(2)
+        circuit.controlled_pauli(kind, 0, 1).controlled_pauli(kind, 1, 0)
+        optimized = cancel_adjacent_inverses(circuit)
+        assert len(optimized) == 0
+        assert _equivalent(circuit, QuantumCircuit(2))
+
+    @pytest.mark.parametrize("name", ["cz", "swap"])
+    def test_swapped_symmetric_builtin_cancels(self, name):
+        circuit = QuantumCircuit(2)
+        getattr(circuit, name)(0, 1)
+        getattr(circuit, name)(1, 0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    @pytest.mark.parametrize("kind", ["xy", "yz", "zx"])
+    def test_swapped_asymmetric_controlled_pauli_survives(self, kind):
+        """cxy(0,1) != cxy(1,0): asymmetric kinds still compare by order."""
+        circuit = QuantumCircuit(2)
+        circuit.controlled_pauli(kind, 0, 1).controlled_pauli(kind, 1, 0)
+        optimized = cancel_adjacent_inverses(circuit)
+        assert len(optimized) == 2
+        assert _equivalent(circuit, optimized)
+
     def test_preserves_unitary_on_random_clifford_circuit(self):
         rng = np.random.default_rng(0)
         circuit = QuantumCircuit(3)
@@ -93,6 +123,32 @@ class TestRotationMerging:
         circuit = QuantumCircuit(1)
         circuit.rz(0.1, 0).rx(0.2, 0)
         assert len(merge_rotations(circuit)) == 2
+
+    @pytest.mark.parametrize("name", ["rzz", "rxx", "ryy"])
+    def test_swapped_symmetric_rotations_merge(self, name):
+        """rzz(a; 0,1)·rzz(b; 1,0) = rzz(a+b; 0,1): symmetric axes merge."""
+        circuit = QuantumCircuit(2)
+        getattr(circuit, name)(0.3, 0, 1)
+        getattr(circuit, name)(0.4, 1, 0)
+        merged = merge_rotations(circuit)
+        assert len(merged) == 1
+        assert merged[0].name == name
+        assert merged[0].qubits == (0, 1)
+        assert merged[0].params[0] == pytest.approx(0.7)
+        assert _equivalent(circuit, merged)
+
+    def test_swapped_rzx_does_not_merge(self):
+        """rzx is direction-sensitive, so swapped placements must survive."""
+        circuit = QuantumCircuit(2)
+        circuit.rzx(0.3, 0, 1).rzx(0.4, 1, 0)
+        merged = merge_rotations(circuit)
+        assert len(merged) == 2
+        assert _equivalent(circuit, merged)
+
+    def test_swapped_symmetric_opposite_angles_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.rxx(0.6, 0, 1).rxx(-0.6, 1, 0)
+        assert len(merge_rotations(circuit)) == 0
 
     def test_merge_preserves_unitary(self):
         circuit = QuantumCircuit(2)

@@ -159,3 +159,31 @@ class TestCommutingCrossCompiler:
         assert _phase_overlap(
             terms_unitary(workload.to_terms()), terms_unitary(shuffled)
         ) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestOrderingEngineBitIdentity:
+    """The fast ordering engine is an optimization, not a heuristic change:
+    on every family/seed of the differential sample, PHOENIX must emit the
+    exact same gate sequence whichever ordering engine is selected."""
+
+    @pytest.mark.parametrize(
+        "family,seed",
+        [
+            pytest.param(family, seed, id=f"{family}-s{seed}")
+            for family in FAMILIES
+            for seed in SEEDS
+        ],
+    )
+    def test_fast_and_reference_orderings_compile_identically(
+        self, family, seed, small_instances
+    ):
+        workload = small_instances[family][seed]
+        results = {}
+        for engine in ("fast", "reference"):
+            compiler = build_compiler("phoenix", CompileOptions(ordering_engine=engine))
+            results[engine] = compiler.compile(workload.to_terms())
+        fast, reference = results["fast"], results["reference"]
+        assert [(g.name, g.qubits, g.params) for g in fast.circuit] == [
+            (g.name, g.qubits, g.params) for g in reference.circuit
+        ]
+        assert list(fast.implemented_terms) == list(reference.implemented_terms)
