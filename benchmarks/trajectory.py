@@ -74,6 +74,8 @@ def trajectory_rows(reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
         process = report.get("process", {})
         warm = report.get("warm", {})
         environment = report.get("environment", {})
+        cache = report.get("cache", {}) or {}
+        warm_remote = cache.get("warm_remote") or {}
         rows.append(
             {
                 "label": _label(report),
@@ -84,6 +86,13 @@ def trajectory_rows(reports: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
                 "warm_jobs_per_second": warm.get("jobs_per_second"),
                 "speedup": report.get("speedup"),
                 "warm_hit_rate": warm.get("hit_rate"),
+                # Remote-tier columns appeared with the shared cache tier;
+                # older reports render them as "—".
+                "cache_spec": cache.get("spec"),
+                "remote_hit_rate": warm.get(
+                    "remote_hit_rate", warm_remote.get("hit_rate")
+                ),
+                "remote_io_errors": warm_remote.get("io_errors"),
                 "byte_identical": report.get("equivalence", {}).get(
                     "byte_identical"
                 ),
@@ -140,9 +149,9 @@ def render_markdown(reports: Sequence[Dict[str, Any]]) -> str:
     lines.append("")
     lines.append(
         "| run | serial j/s | process j/s | speedup | warm hit rate | "
-        "byte-identical | workers (eff/req) | cores |"
+        "remote hit rate | byte-identical | workers (eff/req) | cores |"
     )
-    lines.append("|---|---|---|---|---|---|---|---|")
+    lines.append("|---|---|---|---|---|---|---|---|---|")
     for row in trajectory_rows(reports):
         workers = (
             f"{row['effective_workers'] or row['workers'] or '—'}"
@@ -150,7 +159,7 @@ def render_markdown(reports: Sequence[Dict[str, Any]]) -> str:
         )
         lines.append(
             "| {label} | {serial} | {process} | {speedup} | {hits} | "
-            "{identical} | {workers} | {cores} |".format(
+            "{remote} | {identical} | {workers} | {cores} |".format(
                 label=row["label"],
                 serial=_fmt(row["serial_jobs_per_second"]),
                 process=_fmt(row["process_jobs_per_second"]),
@@ -159,6 +168,13 @@ def render_markdown(reports: Sequence[Dict[str, Any]]) -> str:
                     None
                     if row["warm_hit_rate"] is None
                     else row["warm_hit_rate"] * 100,
+                    ".0f",
+                    "%",
+                ),
+                remote=_fmt(
+                    None
+                    if row["remote_hit_rate"] is None
+                    else row["remote_hit_rate"] * 100,
                     ".0f",
                     "%",
                 ),

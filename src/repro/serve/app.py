@@ -71,6 +71,9 @@ class ServeConfig:
     timeout: Optional[float] = None  # per-program compile budget, seconds
     retries: int = 1
     retry_errors: bool = False
+    #: Cache spec (memory:, disk:/path, http://host:port, composed tiers);
+    #: wins over the legacy ``cache_dir`` when both are set.
+    cache: Optional[str] = None
     cache_dir: Optional[str] = None
     journal: Optional[str] = None  # WAL path; also anchors the pending manifest
     resume: bool = False  # replay terminal outcomes already in the journal
@@ -123,7 +126,7 @@ class ServeApp:
             retry_policy = RetryPolicy(
                 max_retries=config.retries, retry_errors=True, base_delay=0.05
             )
-        cache: CacheStore = open_cache(config.cache_dir)
+        cache: CacheStore = open_cache(config.cache or config.cache_dir)
         return CompilationService(
             cache=cache,
             executor=config.executor,

@@ -17,6 +17,7 @@ policies (:mod:`repro.service.resilience`), the crash-safe batch journal
 
 from repro.service.cache import (
     CacheStats,
+    CacheStore,
     DiskCacheStore,
     DoctorReport,
     MemoryCacheStore,
@@ -24,6 +25,7 @@ from repro.service.cache import (
     compilation_cache_key,
     open_cache,
 )
+from repro.service.cachespec import cache_from_spec, is_remote_spec, parse_spec
 from repro.service.executor import (
     ProcessExecutor,
     SerialExecutor,
@@ -44,18 +46,25 @@ from repro.service.service import (
     JobResult,
     ProgressEvent,
 )
+from repro.service.remotecache import RemoteCacheStore, RemoteCacheUnavailable
 from repro.service.shardcache import PruneReport, ShardedDiskCacheStore
 
 __all__ = [
     "CacheStats",
+    "CacheStore",
     "MemoryCacheStore",
     "DiskCacheStore",
     "DoctorReport",
     "ShardedDiskCacheStore",
     "PruneReport",
+    "RemoteCacheStore",
+    "RemoteCacheUnavailable",
     "TieredCache",
+    "cache_from_spec",
     "compilation_cache_key",
+    "is_remote_spec",
     "open_cache",
+    "parse_spec",
     "CompilerOptions",
     "compiler_names",
     "resolve_topology",

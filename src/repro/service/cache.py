@@ -2,15 +2,28 @@
 
 A cache *key* is ``"<program fingerprint>-<compiler config fingerprint>"``
 (see :func:`compilation_cache_key`); a cache *value* is the JSON-compatible
-dict produced by :func:`repro.serialize.results.result_to_dict`.  Three
-stores share the minimal ``get / put / delete / keys / clear`` interface:
+dict produced by :func:`repro.serialize.results.result_to_dict`.  Every
+store satisfies the :class:`CacheStore` protocol — the uniform
+``get / put / delete / keys / clear / usage / close`` surface plus a
+``stats`` counter block — so callers never special-case tiers:
 
 * :class:`MemoryCacheStore` — a thread-safe in-process dict.
 * :class:`DiskCacheStore` — one ``<key>.json`` file per entry, sharded into
   256 two-hex-character subdirectories so that directories stay small under
   production-scale entry counts.  Writes are atomic (temp file + rename) so
   concurrent workers can share a cache directory.
-* :class:`TieredCache` — memory in front of disk; disk hits are promoted.
+  (:class:`repro.service.shardcache.ShardedDiskCacheStore` is the
+  configurable-fan-out, prunable production variant.)
+* :class:`repro.service.remotecache.RemoteCacheStore` — a ``phoenix cache
+  serve`` instance across the network, addressed by URL.
+* :class:`TieredCache` — memory in front of disk in front of (optionally)
+  remote; lower-tier hits are promoted toward memory, writes fan out
+  best-effort to every tier.
+
+Stores are built from URL-style *specs* by
+:func:`repro.service.cachespec.cache_from_spec` (``memory:``,
+``disk:/path?depth=2``, ``http://host:port``, comma-composed tiers);
+:func:`open_cache` accepts either a spec or a bare directory path.
 
 All stores count hits and misses (:attr:`CacheStats`).
 
@@ -42,7 +55,15 @@ import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
 
 from repro.obs import metrics as obs_metrics
 from repro.paulis.fingerprint import ProgramLike, program_fingerprint
@@ -106,6 +127,48 @@ class CacheStats:
         }
 
 
+@runtime_checkable
+class CacheStore(Protocol):
+    """The uniform store surface every cache tier satisfies.
+
+    This used to be a ``Union`` alias over the concrete stores, which
+    meant a new store (the remote tier) could not be named at all and
+    callers special-cased tiers for accounting.  It is now a real
+    :class:`typing.Protocol`: anything with this surface — memory, disk,
+    sharded disk, remote, tiered — is a cache store, checked structurally
+    by mypy and (``runtime_checkable``) by ``isinstance`` in tests.
+
+    Contract notes beyond the signatures:
+
+    * ``get``/``put`` absorb infrastructure failures as misses/dropped
+      writes; only :class:`ValueError` for an invalid *key* may raise.
+    * ``usage()`` is the ops accounting view (entries, bytes where
+      meaningful, the ``stats`` counters under ``"session"``).
+    * ``close()`` releases held resources (pooled connections, file
+      handles); it is idempotent and a no-op for stores that hold none.
+    """
+
+    stats: CacheStats
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]: ...
+
+    def put(self, key: str, value: Dict[str, Any]) -> None: ...
+
+    def delete(self, key: str) -> bool: ...
+
+    def keys(self) -> Iterator[str]: ...
+
+    def clear(self) -> int: ...
+
+    def usage(self) -> Dict[str, Any]: ...
+
+    def close(self) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+
 class MemoryCacheStore:
     """In-process dict store; safe for concurrent readers/writers."""
 
@@ -166,6 +229,9 @@ class MemoryCacheStore:
             "max_entries": self.max_entries,
             "session": self.stats.as_dict(),
         }
+
+    def close(self) -> None:
+        """No resources held; part of the uniform store surface."""
 
 
 @dataclass(frozen=True)
@@ -349,6 +415,9 @@ class DiskCacheStore:
             "session": self.stats.as_dict(),
         }
 
+    def close(self) -> None:
+        """No handles held open between calls; uniform surface only."""
+
     # -- doctor ----------------------------------------------------------
     def _validate_file(self, path: Path) -> bool:
         try:
@@ -426,13 +495,23 @@ class DiskCacheStore:
 
 
 class TieredCache:
-    """Memory store in front of a disk store (read-through, write-through).
+    """Memory in front of disk in front of (optionally) a remote store.
+
+    Reads fall through memory → disk → remote; a hit in a lower tier is
+    **promoted toward memory** (a remote hit is also written to disk, so
+    the next process on this machine never pays the network again).
+    Writes fan out **best-effort** to every tier — a tier that cannot
+    persist (open breaker, I/O failure) is simply skipped.
 
     With a ``breaker``, every disk access first asks
     :meth:`~repro.service.resilience.CircuitBreaker.allow`; while the
-    breaker is open the cache serves memory-only — reads skip the disk,
-    writes land in memory and are simply not persisted — and recovers on
-    its own once the half-open probe sees a healthy disk again.
+    breaker is open the cache skips the disk tier — reads fall through
+    to the remote tier (if any), writes land in the surviving tiers —
+    and recovers on its own once the half-open probe sees a healthy disk
+    again.  The remote tier carries its *own* breaker (inside
+    :class:`~repro.service.remotecache.RemoteCacheStore`) under the same
+    contract: while open, the tiered cache effectively serves
+    memory+disk only.
     """
 
     def __init__(
@@ -440,10 +519,12 @@ class TieredCache:
         memory: Optional[MemoryCacheStore] = None,
         disk: Optional[DiskCacheStore] = None,
         breaker: Optional[CircuitBreaker] = None,
+        remote: Optional["CacheStore"] = None,
     ):
         self.memory = memory if memory is not None else MemoryCacheStore()
         self.disk = disk
         self.breaker = breaker
+        self.remote = remote
         if breaker is not None and disk is not None and disk.breaker is None:
             disk.breaker = breaker  # store outcomes feed the shared breaker
         self.stats = CacheStats()
@@ -465,6 +546,16 @@ class TieredCache:
                 value = self.disk.get(key)
                 if value is not None:
                     self.memory.put(key, value)
+            if value is None and self.remote is not None:
+                # The remote store absorbs every network failure as a
+                # miss behind its own breaker, so this never raises.
+                value = self.remote.get(key)
+                if value is not None:
+                    # Promote downward: memory for this process, disk so
+                    # the next process on this machine skips the network.
+                    self.memory.put(key, value)
+                    if self._disk_ready():
+                        self.disk.put(key, value)
         elif self.disk is not None:
             # A memory hit must still register as disk access, or LRU
             # pruning would evict the hottest entries of a long-lived
@@ -483,12 +574,16 @@ class TieredCache:
         self.memory.put(key, value)
         if self._disk_ready():
             self.disk.put(key, value)
+        if self.remote is not None:
+            self.remote.put(key, value)  # best-effort; degrades to a drop
         self.stats.puts += 1
 
     def delete(self, key: str) -> bool:
         deleted = self.memory.delete(key)
         if self.disk is not None:
             deleted = self.disk.delete(key) or deleted
+        if self.remote is not None:
+            deleted = self.remote.delete(key) or deleted
         return deleted
 
     def keys(self) -> Iterator[str]:
@@ -497,12 +592,19 @@ class TieredCache:
         if self.disk is not None:
             for key in self.disk.keys():
                 if key not in seen:
+                    seen.add(key)
+                    yield key
+        if self.remote is not None:
+            for key in self.remote.keys():
+                if key not in seen:
                     yield key
 
     def clear(self) -> int:
         count = self.memory.clear()
         if self.disk is not None:
             count = max(count, self.disk.clear())
+        if self.remote is not None:
+            count = max(count, self.remote.clear())
         return count
 
     def __len__(self) -> int:
@@ -511,7 +613,9 @@ class TieredCache:
     def __contains__(self, key: str) -> bool:
         if key in self.memory:
             return True
-        return self.disk is not None and key in self.disk
+        if self.disk is not None and key in self.disk:
+            return True
+        return self.remote is not None and key in self.remote
 
     @property
     def degraded(self) -> bool:
@@ -523,11 +627,12 @@ class TieredCache:
         )
 
     def usage(self) -> Dict[str, Any]:
-        """One combined accounting view across both tiers.
+        """One combined accounting view across all tiers.
 
         Ops surfaces (``/v1/stats``, dashboards) read this instead of
         poking tier internals: memory entry counts, the disk store's own
         ``usage()`` (shard layout, bytes, mtimes) when it has one, the
+        remote store's own accounting when one is attached, the
         degraded-mode flag, and the tier-level hit/miss counters.
         """
         disk_usage: Optional[Dict[str, Any]] = None
@@ -537,16 +642,27 @@ class TieredCache:
                 disk_usage = reporter()
             else:  # any store can sit in the disk slot; degrade gracefully
                 disk_usage = {"entries": len(self.disk)}
-        return {
+        remote_usage: Optional[Dict[str, Any]] = None
+        if self.remote is not None:
+            remote_usage = self.remote.usage()
+        usage = {
             "memory": self.memory.usage(),
             "disk": disk_usage,
             "degraded": self.degraded,
             "breaker": self.breaker.state if self.breaker is not None else None,
             "session": self.stats.as_dict(),
         }
+        if remote_usage is not None:
+            usage["remote"] = remote_usage
+        return usage
 
-
-CacheStore = Union[MemoryCacheStore, DiskCacheStore, TieredCache]
+    def close(self) -> None:
+        """Release every tier's resources (idempotent)."""
+        self.memory.close()
+        if self.disk is not None:
+            self.disk.close()
+        if self.remote is not None:
+            self.remote.close()
 
 
 def open_cache(
@@ -555,24 +671,28 @@ def open_cache(
     width: Optional[int] = None,
     breaker: Optional[CircuitBreaker] = None,
 ) -> TieredCache:
-    """A tiered cache backed by ``cache_dir`` (memory-only when ``None``).
+    """A tiered cache for ``cache_dir`` — a directory path *or* a spec.
 
-    The disk tier is a :class:`repro.service.shardcache.ShardedDiskCacheStore`
-    whose default layout is byte-compatible with :class:`DiskCacheStore`
-    directories; ``depth``/``width`` configure the shard fan-out for new
-    caches (an existing cache keeps its recorded layout).  The tier is
-    guarded by ``breaker`` (a default disk breaker when omitted): repeated
-    I/O failures open it and the cache degrades to memory-only until the
-    disk recovers.
+    String targets are treated as cache specs and delegated to
+    :func:`repro.service.cachespec.cache_from_spec`, so every entry point
+    that historically took a bare directory now also accepts ``memory:``,
+    ``disk:/path?depth=2&width=16``, ``http://host:port``, or a
+    comma-composed tier list (a bare path keeps meaning "disk cache in
+    that directory").  ``None`` returns a memory-only cache.
+
+    For a disk tier, the store is a
+    :class:`repro.service.shardcache.ShardedDiskCacheStore` whose default
+    layout is byte-compatible with :class:`DiskCacheStore` directories;
+    ``depth``/``width`` configure the shard fan-out for new caches (an
+    existing cache keeps its recorded layout).  The tier is guarded by
+    ``breaker`` (a default disk breaker when omitted): repeated I/O
+    failures open it and the cache degrades until the disk recovers.
     """
     if cache_dir is None:
         return TieredCache(disk=None)
-    # Imported here: shardcache extends this module's DiskCacheStore.
-    from repro.service.shardcache import ShardedDiskCacheStore
+    # Imported here: cachespec builds the stores this module defines.
+    from repro.service.cachespec import cache_from_spec
 
-    if breaker is None:
-        breaker = CircuitBreaker("cache.disk", window=16, cooldown=15.0)
-    return TieredCache(
-        disk=ShardedDiskCacheStore(cache_dir, depth=depth, width=width),
-        breaker=breaker,
+    return cache_from_spec(
+        str(cache_dir), depth=depth, width=width, breaker=breaker
     )

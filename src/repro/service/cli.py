@@ -15,6 +15,9 @@ registry::
     phoenix cache stats --cache-dir .phoenix-cache
     phoenix cache prune --cache-dir .phoenix-cache --max-bytes 200M --max-age 7d
     phoenix cache doctor --cache-dir .phoenix-cache
+    phoenix cache serve --cache disk:.phoenix-cache --port 8078
+    phoenix cache stats --cache http://cachehost:8078
+    phoenix batch --manifest jobs.json --cache disk:.cache,http://cachehost:8078
     phoenix chaos --scenario ci-smoke --seed 7 --limit 4
     phoenix serve --port 8077 --cache-dir .phoenix-cache --journal serve.wal
     phoenix workload list
@@ -177,6 +180,14 @@ def _parse_age(text: str) -> float:
         raise ValueError(f"invalid age {text!r}; expected e.g. 3600, 90m, 12h, 7d")
 
 
+def _cache_target(args: argparse.Namespace) -> Optional[str]:
+    """The cache spec to open: ``--cache`` wins over legacy ``--cache-dir``."""
+    spec = getattr(args, "cache", None)
+    if spec:
+        return spec
+    return getattr(args, "cache_dir", None)
+
+
 def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--compiler", default="phoenix", choices=compiler_names(),
@@ -198,14 +209,22 @@ def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
     parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="result cache spec: memory:, disk:/path?depth=2&width=16, "
+             "http://host:port (a phoenix cache serve instance), or a "
+             "comma-composed tier list, e.g. disk:/path,http://host:port "
+             "(default: memory only)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
-        help="directory of the on-disk result cache (default: memory only)",
+        help="directory of the on-disk result cache (deprecated: use "
+             "--cache disk:DIR; a bare path still works)",
     )
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     program = _load_program(args)
-    service = CompilationService(cache=open_cache(args.cache_dir))
+    service = CompilationService(cache=open_cache(_cache_target(args)))
     name = args.benchmark or Path(args.input).stem
     job_result = service.compile(program, _options_from_args(args), name=name)
     if not job_result.ok:
@@ -290,7 +309,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         raise SystemExit("error: --resume needs --journal PATH")
 
-    service = CompilationService(cache=open_cache(args.cache_dir))
+    service = CompilationService(cache=open_cache(_cache_target(args)))
     progress = None if args.quiet else _stderr_progress
     trace_sink: Optional[obs.JsonlSink] = None
     previous_sink = None
@@ -411,7 +430,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             suite = PINNED_SUITE[: args.limit] if args.limit else PINNED_SUITE
             jobs = bench_jobs(suite)
             source = f"bench suite ({len(jobs)} of {len(PINNED_SUITE)} jobs)"
-        service = CompilationService(cache=open_cache(args.cache_dir))
+        service = CompilationService(cache=open_cache(_cache_target(args)))
         progress = None if args.quiet else _stderr_progress
         job_results = service.compile_many(
             jobs, workers=1, executor="serial", progress=progress
@@ -476,7 +495,7 @@ def _cmd_workload_compile(args: argparse.Namespace) -> int:
         optimization_level=args.opt_level,
         seed=args.seed,
     )
-    service = CompilationService(cache=open_cache(args.cache_dir))
+    service = CompilationService(cache=open_cache(_cache_target(args)))
     job_result = service.compile(workload.to_terms(), options, name=workload.name)
     if not job_result.ok:
         sys.stderr.write(
@@ -499,21 +518,115 @@ def _cmd_workload_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_serve(args: argparse.Namespace, spec) -> int:
+    # Imported lazily: repro.serve pulls in the asyncio stack.
+    from repro.serve.cacheapp import CacheServeConfig, run_cache_serve
+
+    if spec.has_remote:
+        sys.stderr.write(
+            "error: 'cache serve' fronts a local disk cache; point it at a "
+            "directory (--cache disk:DIR), not another server\n"
+        )
+        return 2
+    if not spec.has_disk:
+        sys.stderr.write(
+            "error: 'cache serve' needs a disk cache to front "
+            "(--cache disk:DIR or --cache-dir DIR)\n"
+        )
+        return 2
+    config = CacheServeConfig(
+        cache_dir=spec.disk_path,
+        host=args.host,
+        port=args.port,
+        depth=spec.disk_depth,
+        width=spec.disk_width,
+    )
+    return run_cache_serve(config)
+
+
+def _cmd_cache_remote(args: argparse.Namespace, spec) -> int:
+    """The actions that make sense against a remote spec.
+
+    ``stats`` proxies the server's ``/v1/stats``; ``ls``/``info``/``clear``
+    go through the store protocol; ``prune``/``doctor`` are filesystem
+    operations and are refused with a pointer at the server host.
+    """
+    from repro.service.remotecache import RemoteCacheStore, RemoteCacheUnavailable
+
+    if args.action in ("prune", "doctor"):
+        sys.stderr.write(
+            f"error: 'cache {args.action}' operates on a local cache "
+            f"directory; run it on the host serving {spec.remote_url} "
+            "(phoenix cache serve keeps prune/doctor machinery server-side)\n"
+        )
+        return 2
+    store = RemoteCacheStore(
+        spec.remote_url,
+        timeout=spec.remote_timeout if spec.remote_timeout is not None else 2.0,
+    )
+    try:
+        if args.action == "stats":
+            stats = store.fetch_stats()
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        elif args.action == "info":
+            stats = store.fetch_stats()
+            usage = stats.get("usage", {})
+            print(f"cache: {spec.remote_url}")
+            print(f"entries: {usage.get('entries', '?')}")
+            print(f"size_bytes: {usage.get('total_bytes', '?')}")
+        elif args.action == "ls":
+            for key in store.keys():
+                print(key)
+        elif args.action == "clear":
+            removed = store.clear()
+            print(f"removed {removed} entries")
+        return 0
+    except RemoteCacheUnavailable as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    finally:
+        store.close()
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.cachespec import parse_spec
+
+    target = _cache_target(args)
+    if target is None:
+        sys.stderr.write("error: provide --cache SPEC or --cache-dir DIR\n")
+        return 2
+    spec = parse_spec(target)
+    if args.action == "serve":
+        return _cmd_cache_serve(args, spec)
+    if spec.has_remote:
+        if spec.has_disk:
+            sys.stderr.write(
+                "error: cache ops take one tier at a time; name either the "
+                "disk directory or the server URL, not a composed spec\n"
+            )
+            return 2
+        return _cmd_cache_remote(args, spec)
+    if not spec.has_disk:
+        sys.stderr.write(
+            f"error: 'cache {args.action}' needs a disk or remote cache, "
+            f"got {target!r}\n"
+        )
+        return 2
+    cache_dir = spec.disk_path
     # Inspection must not create state: a typo'd --cache-dir should fail,
     # not report a fresh empty cache.
-    if not Path(args.cache_dir).is_dir():
-        sys.stderr.write(f"error: no cache directory at {args.cache_dir!r}\n")
+    if not Path(cache_dir).is_dir():
+        sys.stderr.write(f"error: no cache directory at {cache_dir!r}\n")
         return 2
-    store = ShardedDiskCacheStore(args.cache_dir)
+    store = ShardedDiskCacheStore(cache_dir, depth=spec.disk_depth, width=spec.disk_width)
     if args.action == "info":
         usage = store.usage()
-        print(f"cache: {args.cache_dir}")
+        print(f"cache: {cache_dir}")
         print(f"entries: {usage['entries']}")
         print(f"size_bytes: {usage['total_bytes']}")
     elif args.action == "stats":
         usage = store.usage()
-        print(f"cache: {args.cache_dir}")
+        print(f"cache: {cache_dir}")
         print(f"layout: depth={usage['depth']} width={usage['width']}")
         print(f"entries: {usage['entries']}")
         print(f"size_bytes: {usage['total_bytes']}")
@@ -548,7 +661,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"swept {report.removed_tmp_files} stale temp files")
     elif args.action == "doctor":
         health = store.doctor(repair=not args.report_only, purge=args.purge)
-        print(f"cache: {args.cache_dir}")
+        print(f"cache: {cache_dir}")
         print(
             f"scanned {health.scanned} entries: {health.healthy} healthy, "
             f"{health.corrupt} corrupt"
@@ -598,6 +711,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         retry_errors=args.retry_errors,
+        cache=args.cache,
         cache_dir=args.cache_dir,
         journal=args.journal,
         resume=args.resume,
@@ -723,9 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile only the first N jobs of the pinned bench suite",
     )
     profile_parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="result cache spec to reuse (note: cached jobs contribute no "
+             "fresh stage timings; default: memory only)",
+    )
+    profile_parser.add_argument(
         "--cache-dir", default=None,
-        help="result cache to reuse (note: cached jobs contribute no fresh "
-             "stage timings; default: memory only)",
+        help="result cache directory (deprecated: use --cache disk:DIR)",
     )
     profile_parser.add_argument(
         "--quiet", action="store_true",
@@ -778,13 +896,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_parser = subparsers.add_parser(
         "cache",
-        help="inspect, prune, clear, or health-check an on-disk result cache",
+        help="inspect, prune, clear, health-check, or serve a result cache",
         parents=[logging_parent],
     )
     cache_parser.add_argument(
-        "action", choices=["info", "stats", "ls", "clear", "prune", "doctor"]
+        "action",
+        choices=["info", "stats", "ls", "clear", "prune", "doctor", "serve"],
     )
-    cache_parser.add_argument("--cache-dir", required=True, help="cache directory")
+    cache_parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="cache spec: disk:/path?depth=2&width=16 or http://host:port "
+             "(stats/info/ls/clear work against a server; prune/doctor are "
+             "local-only)",
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (deprecated: use --cache disk:DIR)",
+    )
+    cache_parser.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    cache_parser.add_argument(
+        "--port", type=int, default=8078,
+        help="serve: listen port (default: 8078; 0 picks an ephemeral port)",
+    )
     cache_parser.add_argument(
         "--max-bytes", default=None,
         help="prune: evict least-recently-used entries until the cache fits "
@@ -889,8 +1024,14 @@ def build_parser() -> argparse.ArgumentParser:
              "timeouts/crashes (for flaky environments)",
     )
     serve_parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="result cache spec: memory:, disk:/path, http://host:port, or "
+             "a comma-composed tier list (default: memory only)",
+    )
+    serve_parser.add_argument(
         "--cache-dir", default=None,
-        help="directory of the on-disk result cache (default: memory only)",
+        help="directory of the on-disk result cache (deprecated: use "
+             "--cache disk:DIR)",
     )
     serve_parser.add_argument(
         "--journal", default=None, metavar="PATH",

@@ -8,7 +8,9 @@ named fault points —
 * ``worker.compile`` — inside the payload compile attempt (fires in the
   worker process under a fork-based pool),
 * ``executor.dispatch`` — process-pool chunk submission,
-* ``journal.record`` — the write-ahead journal's line append
+* ``journal.record`` — the write-ahead journal's line append,
+* ``remote.get`` / ``remote.put`` / ``remote.connect`` — the remote cache
+  tier's request paths (:mod:`repro.service.remotecache`)
 
 — each a single ``faultlab.fire("<point>")`` call that returns immediately
 when nothing is armed (mirroring :mod:`repro.obs`'s zero-cost-when-off
@@ -67,6 +69,9 @@ FAULT_POINTS = (
     "worker.compile",
     "executor.dispatch",
     "journal.record",
+    "remote.get",
+    "remote.put",
+    "remote.connect",
 )
 
 
@@ -324,6 +329,15 @@ BUILTIN_SCENARIOS: Dict[str, Scenario] = {
         faults=(
             {"point": "worker.compile", "fault": "error", "p": 0.3},
             {"point": "executor.dispatch", "fault": "error", "p": 0.1},
+        ),
+    ),
+    "remote-outage": Scenario(
+        name="remote-outage",
+        seed=23,
+        faults=(
+            {"point": "remote.connect", "fault": "error", "p": 0.5},
+            {"point": "remote.get", "fault": "error", "p": 0.3},
+            {"point": "remote.put", "fault": "error", "p": 0.3},
         ),
     ),
 }

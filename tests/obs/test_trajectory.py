@@ -88,6 +88,20 @@ class TestRows:
         assert first["effective_workers"] == 4
         assert first["cpu_count"] == 4
 
+    def test_remote_tier_columns(self, tmp_path):
+        report = synthetic_report("2026-08-08T00:00:00+00:00", 1.0)
+        report["warm"]["remote_hit_rate"] = 0.75
+        report["cache"] = {
+            "spec": "disk:.cache,http://cachehost:8078",
+            "warm_remote": {"hit_rate": 0.75, "io_errors": 2},
+        }
+        (tmp_path / "r.json").write_text(json.dumps(report), encoding="utf-8")
+        rows = trajectory_rows(load_reports(tmp_path))
+        assert rows[0]["remote_hit_rate"] == 0.75
+        assert rows[0]["remote_io_errors"] == 2
+        assert rows[0]["cache_spec"] == "disk:.cache,http://cachehost:8078"
+        assert "| 75% |" in render_markdown(load_reports(tmp_path))
+
     def test_stage_history_tracks_medians_per_report(self, history_dir):
         history = stage_history(load_reports(history_dir))
         assert history["order"] == [0.02, 0.02, 0.01]
@@ -99,7 +113,8 @@ class TestRendering:
         text = render_markdown(load_reports(history_dir))
         assert "# Bench trajectory" in text
         assert "3 report(s), oldest first." in text
-        assert "| 2026-08-01 00:00:00 | 1.00 | 2.00 | 2.00x | 100% | yes | 4/4 | 4 |" in text
+        # Pre-remote-tier reports render "—" in the remote hit-rate column.
+        assert "| 2026-08-01 00:00:00 | 1.00 | 2.00 | 2.00x | 100% | — | yes | 4/4 | 4 |" in text
         assert "## Per-stage median seconds" in text
         assert "| order | 0.0200 | 0.0200 | 0.0100 |" in text
 
